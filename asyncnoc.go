@@ -1,0 +1,371 @@
+// Package asyncnoc is a simulation and analysis library for lightweight
+// multicast in asynchronous Networks-on-Chip using local speculation,
+// reproducing Bhardwaj & Nowick, DAC 2016.
+//
+// The library models an n x n variant Mesh-of-Trees (MoT) asynchronous
+// NoC with two-phase bundled-data handshaking at flit granularity. Six
+// network architectures are provided:
+//
+//   - Baseline: the unicast-only network of Horak et al. [21]; multicast
+//     is expanded into serial unicasts.
+//   - BasicNonSpeculative: simple tree-based parallel multicast.
+//   - BasicHybridSpeculative: local speculation — a speculative root
+//     level that always broadcasts, surrounded by non-speculative nodes
+//     that throttle redundant copies.
+//   - OptHybridSpeculative: the hybrid with power-optimized speculative
+//     nodes and performance-optimized (channel pre-allocating)
+//     non-speculative nodes.
+//   - OptNonSpeculative / OptAllSpeculative: the zero- and maximum-
+//     speculation extremes of the design space.
+//
+// Node timing and area come from gate-level netlists of all six switch
+// designs (see internal/netlist), analyzed against a 45 nm-calibrated
+// cell library; the energy model charges every handshake event to
+// regenerate the paper's total network power.
+//
+// Quick start:
+//
+//	spec := asyncnoc.OptHybridSpeculative(8)
+//	res, err := asyncnoc.Run(spec, asyncnoc.RunConfig{
+//	        Bench:   asyncnoc.UniformRandom(8),
+//	        LoadGFs: 0.4,
+//	        Seed:    1,
+//	        Warmup:  320 * asyncnoc.Nanosecond,
+//	        Measure: 3200 * asyncnoc.Nanosecond,
+//	        Drain:   800 * asyncnoc.Nanosecond,
+//	})
+//
+// All randomness is seeded; equal configurations reproduce results
+// exactly.
+package asyncnoc
+
+import (
+	"fmt"
+	"io"
+
+	"asyncnoc/internal/core"
+	"asyncnoc/internal/mesh"
+	"asyncnoc/internal/netlist"
+	"asyncnoc/internal/network"
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/rng"
+	"asyncnoc/internal/routing"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/stats"
+	"asyncnoc/internal/timing"
+	"asyncnoc/internal/topology"
+	"asyncnoc/internal/traffic"
+)
+
+// Time re-exports the picosecond simulation timestamp.
+type Time = sim.Time
+
+// Time units for configuring windows.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+)
+
+// NetworkSpec describes one network architecture instance.
+type NetworkSpec = network.Spec
+
+// Network is a built simulation instance (exposed for instrumented runs).
+type Network = network.Network
+
+// TraceEvent is an observable simulation event (inject, forward,
+// throttle, deliver) for instrumented runs.
+type TraceEvent = network.TraceEvent
+
+// Trace event kinds.
+const (
+	TraceInject   = network.TraceInject
+	TraceForward  = network.TraceForward
+	TraceThrottle = network.TraceThrottle
+	TraceDeliver  = network.TraceDeliver
+)
+
+// RunConfig parameterizes one simulation run.
+type RunConfig = core.RunConfig
+
+// RunResult carries one run's measurements.
+type RunResult = core.RunResult
+
+// SatConfig parameterizes a saturation-throughput search.
+type SatConfig = core.SatConfig
+
+// SatResult carries a saturation search outcome.
+type SatResult = core.SatResult
+
+// Benchmark generates destination sets for injected packets.
+type Benchmark = traffic.Benchmark
+
+// DestSet is a destination bitmask (bit d == destination d addressed).
+type DestSet = packet.DestSet
+
+// Dests builds a destination set from indices.
+func Dests(ds ...int) DestSet { return packet.Dests(ds...) }
+
+// Rand is the deterministic random source handed to Benchmark
+// implementations; custom traffic patterns implement Benchmark with it.
+type Rand = rng.Source
+
+// CustomHybrid returns a hybrid network with an explicit per-level
+// speculation vector (root level first; the last level must be
+// non-speculative), using the optimized node designs. This opens the
+// wider design space the paper describes for larger MoTs (Fig. 3(d)).
+func CustomHybrid(n int, specLevels []bool) NetworkSpec {
+	s := core.OptHybridSpeculative(n)
+	s.Name = fmt.Sprintf("Custom[%s]", levelString(specLevels))
+	s.SpecLevels = append([]bool(nil), specLevels...)
+	return s
+}
+
+func levelString(levels []bool) string {
+	out := make([]byte, len(levels))
+	for i, s := range levels {
+		if s {
+			out[i] = 'S'
+		} else {
+			out[i] = 'N'
+		}
+	}
+	return string(out)
+}
+
+// Network constructors (Section 5.1 of the paper). n is the MoT radix
+// (a power of two in [2, 64]; the paper evaluates 8).
+var (
+	// Baseline is the serial-multicast unicast network [21].
+	Baseline = core.Baseline
+	// BasicNonSpeculative is simple tree-based parallel multicast.
+	BasicNonSpeculative = core.BasicNonSpeculative
+	// BasicHybridSpeculative applies local speculation with
+	// unoptimized nodes.
+	BasicHybridSpeculative = core.BasicHybridSpeculative
+	// OptHybridSpeculative adds the protocol optimizations.
+	OptHybridSpeculative = core.OptHybridSpeculative
+	// OptNonSpeculative is the optimized zero-speculation design point.
+	OptNonSpeculative = core.OptNonSpeculative
+	// OptAllSpeculative is the almost fully speculative extreme.
+	OptAllSpeculative = core.OptAllSpeculative
+)
+
+// AllNetworks returns the six architectures in reporting order.
+func AllNetworks(n int) []NetworkSpec { return core.AllSpecs(n) }
+
+// WithFourPhase returns the spec rebuilt on four-phase (RZ) handshaking
+// instead of the paper's two-phase (NRZ) signaling — the protocol
+// alternative Section 2 argues against. Useful for ablations.
+func WithFourPhase(s NetworkSpec) NetworkSpec {
+	s.Protocol = timing.FourPhase
+	s.Name += "(4-phase)"
+	return s
+}
+
+// WithSynchronous derives the clocked comparison point of an
+// architecture: same topology and nodes, quantized to a worst-case-path
+// clock with clock-tree power charged — the paper's async-vs-sync
+// motivation made measurable.
+func WithSynchronous(s NetworkSpec) NetworkSpec { return core.Synchronous(s) }
+
+// NetworkByName resolves a reporting name (e.g. "OptHybridSpeculative").
+func NetworkByName(n int, name string) (NetworkSpec, error) { return core.SpecByName(n, name) }
+
+// Benchmark constructors (Section 5.1).
+func UniformRandom(n int) Benchmark { return traffic.UniformRandom{N: n} }
+
+// Shuffle returns the bit-permutation benchmark.
+func Shuffle(n int) Benchmark { return traffic.Shuffle{N: n} }
+
+// Hotspot returns the single-hot-destination benchmark.
+func Hotspot(n, hot int) Benchmark { return traffic.Hotspot{N: n, Hot: hot} }
+
+// MulticastFraction returns a mixed benchmark injecting multicast packets
+// (random destination subsets) at the given rate; 0.05 and 0.10 are the
+// paper's Multicast5 and Multicast10.
+func MulticastFraction(n int, frac float64) Benchmark { return traffic.Multicast{N: n, Frac: frac} }
+
+// MulticastStatic returns the benchmark where the first `sources` sources
+// send only multicast and the rest uniform random unicast.
+func MulticastStatic(n, sources int) Benchmark {
+	return traffic.MulticastStatic{N: n, Sources: sources}
+}
+
+// Benchmarks returns the paper's six benchmarks in reporting order.
+func Benchmarks(n int) []Benchmark { return traffic.StandardSuite(n) }
+
+// BenchmarkByName resolves a benchmark reporting name.
+func BenchmarkByName(n int, name string) (Benchmark, error) { return traffic.ByName(n, name) }
+
+// Run executes one simulation and returns its measurements.
+func Run(spec NetworkSpec, cfg RunConfig) (RunResult, error) { return core.Run(spec, cfg) }
+
+// Build constructs an instrumentable network with injection processes
+// armed and windows set; drive it with nw.Sched and extract measurements
+// with Collect.
+func Build(spec NetworkSpec, cfg RunConfig) (*Network, error) { return core.Build(spec, cfg) }
+
+// NewNetwork constructs a bare network instance with no traffic
+// processes: inject packets explicitly with nw.Inject and drive the
+// simulation with nw.Sched (single-packet walk-throughs, custom
+// harnesses).
+func NewNetwork(spec NetworkSpec) (*Network, error) { return network.New(spec) }
+
+// VCDRecorder dumps handshake activity as an IEEE 1364 Value Change Dump.
+type VCDRecorder = network.VCDRecorder
+
+// AttachVCD instruments a built network to dump its request toggles,
+// throttles, and deliveries as a VCD waveform; call Close on the returned
+// recorder after the run.
+func AttachVCD(nw *Network, out io.Writer) (*VCDRecorder, error) {
+	return network.AttachVCD(nw, out)
+}
+
+// Collect extracts measurements from a finished instrumented run.
+func Collect(nw *Network, cfg RunConfig) RunResult { return core.Collect(nw, cfg) }
+
+// Saturation searches for the saturation throughput of one network under
+// one benchmark (Table 1).
+func Saturation(spec NetworkSpec, cfg SatConfig) (SatResult, error) {
+	return core.Saturation(spec, cfg)
+}
+
+// MeshSpec describes a 2D-mesh network — the paper's future-work
+// topology, simulated with the same handshake-level machinery.
+type MeshSpec = mesh.Spec
+
+// MeshTree returns a w x h mesh with XY tree-based multicast.
+func MeshTree(w, h int) MeshSpec {
+	return MeshSpec{Name: fmt.Sprintf("Mesh%dx%dTree", w, h), W: w, H: h, PacketLen: core.DefaultPacketLen}
+}
+
+// MeshSerial returns a w x h mesh expanding multicast into serial XY
+// unicasts (the baseline scheme on the alternative topology).
+func MeshSerial(w, h int) MeshSpec {
+	return MeshSpec{Name: fmt.Sprintf("Mesh%dx%dSerial", w, h), W: w, H: h, PacketLen: core.DefaultPacketLen, Serial: true}
+}
+
+// RunMesh executes one mesh simulation under the same configuration
+// contract as Run; the benchmark's destination space must equal w*h.
+func RunMesh(spec MeshSpec, cfg RunConfig) (RunResult, error) { return mesh.Run(spec, cfg) }
+
+// MeshSaturation searches for a mesh's saturation throughput under the
+// same latency-divergence criterion as Saturation.
+func MeshSaturation(spec MeshSpec, cfg SatConfig) (SatResult, error) {
+	return mesh.Saturation(spec, cfg)
+}
+
+// Injection is one entry of an explicit traffic schedule.
+type Injection = core.Injection
+
+// Schedule is a time-ordered workload for replay runs.
+type Schedule = core.Schedule
+
+// RunSchedule replays an explicit workload through a network and measures
+// every injected packet.
+func RunSchedule(spec NetworkSpec, sched Schedule, drain Time) (RunResult, error) {
+	return core.RunSchedule(spec, sched, drain)
+}
+
+// Replicated aggregates one configuration over several seeds.
+type Replicated = core.Replicated
+
+// RunSeeds executes the configuration once per seed and aggregates mean
+// and standard deviation of the reported metrics.
+func RunSeeds(spec NetworkSpec, cfg RunConfig, seeds []uint64) (Replicated, error) {
+	return core.RunSeeds(spec, cfg, seeds)
+}
+
+// Utilization holds per-level fanout activity counters; it quantifies how
+// local the speculation waste stays (the paper's "small local regions").
+type Utilization = network.Utilization
+
+// AttachUtilization instruments a built network with per-level activity
+// counters (chains any existing Trace callback).
+func AttachUtilization(nw *Network) *Utilization { return network.AttachUtilization(nw) }
+
+// SweepPoint is one point of a latency-versus-offered-load curve.
+type SweepPoint = core.SweepPoint
+
+// LoadSweep measures the latency-throughput curve of one network under
+// one benchmark on a grid of load fractions up to maxFraction of the
+// network's saturation.
+func LoadSweep(spec NetworkSpec, base RunConfig, points int, maxFraction float64) ([]SweepPoint, error) {
+	return core.LoadSweep(spec, base, points, maxFraction)
+}
+
+// NodeCost is one row of the paper's node-level results (Section 5.2(a)),
+// regenerated from the gate-level netlists.
+type NodeCost struct {
+	// Name is the node design name.
+	Name string
+	// AreaUm2 is the pre-layout standard-cell area.
+	AreaUm2 float64
+	// ForwardPs is the request-in to request-out critical path.
+	ForwardPs int
+	// BodyForwardPs is the body-flit forward path (differs only on
+	// designs with a fast-forward mechanism).
+	BodyForwardPs int
+	// Cells is the placed instance count.
+	Cells int
+}
+
+// NodeCosts analyzes every node netlist and returns the node-level table.
+func NodeCosts() ([]NodeCost, error) {
+	var out []NodeCost
+	for _, name := range netlist.AllNodeNames() {
+		nl, err := netlist.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		fwd := nl.MustPath(netlist.NetReqIn, netlist.NetReqOut0)
+		body := fwd
+		if nl.Net(netlist.NetReqOutFast) != nil {
+			body = nl.MustPath(netlist.NetReqIn, netlist.NetReqOutFast)
+		}
+		out = append(out, NodeCost{
+			Name:          name,
+			AreaUm2:       nl.Area(),
+			ForwardPs:     fwd,
+			BodyForwardPs: body,
+			Cells:         nl.CellCount(),
+		})
+	}
+	return out, nil
+}
+
+// FormatLatencyHistogram renders latency samples (ns) as an ASCII
+// histogram with `bins` buckets and bars up to barWidth characters.
+func FormatLatencyHistogram(samplesNs []float64, bins, barWidth int) string {
+	return stats.FormatHistogram(stats.Histogram(samplesNs, bins), barWidth)
+}
+
+// DrawPlacement renders the spec's fanout-tree speculation placement as
+// ASCII art (speculative nodes marked [S#], addressable ones (N#:f#)).
+func DrawPlacement(spec NetworkSpec) (string, error) {
+	m, err := topology.New(spec.N)
+	if err != nil {
+		return "", err
+	}
+	var pl *topology.Placement
+	switch {
+	case spec.Serial:
+		pl, err = topology.ForScheme(m, topology.NonSpeculative)
+	case spec.SpecLevels != nil:
+		pl, err = topology.NewPlacement(m, spec.SpecLevels)
+	default:
+		pl, err = topology.ForScheme(m, spec.Scheme)
+	}
+	if err != nil {
+		return "", err
+	}
+	return topology.Draw(pl), nil
+}
+
+// AddressSizes reports the source-route header widths of every
+// architecture for an n x n MoT (Section 5.2(d)).
+type AddressSizes = routing.AddressSizes
+
+// AddressSizesFor computes the Section 5.2(d) row for an n x n MoT.
+func AddressSizesFor(n int) (AddressSizes, error) { return routing.SizesFor(n) }

@@ -1,0 +1,90 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Section 5) and prints them as text tables:
+//
+//   - node-level area/latency results (Section 5.2(a))
+//   - Fig. 6(a): contribution-trajectory network latency
+//   - Fig. 6(b): design-space network latency
+//   - Table 1: saturation throughput and total network power
+//   - the addressing-scheme comparison (Section 5.2(d))
+//
+// With -quick the measurement windows shrink to CI scale (~seconds);
+// without it the paper-scale windows run in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"asyncnoc/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "CI-scale measurement windows")
+		seed    = flag.Uint64("seed", 2016, "random seed")
+		workers = flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+		sats    = flag.Bool("satloads", false, "also print the raw saturation loads")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		n       = flag.Int("n", 8, "MoT radix (the paper evaluates 8; 16 explores the future-work size)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	s := experiments.NewSuite(*quick)
+	s.N = *n
+	s.Seed = *seed
+	s.Workers = *workers
+
+	emit := func(name string, t *experiments.Table) {
+		fmt.Println(t.Format())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				check(err)
+			}
+		}
+	}
+
+	nodeTable, err := experiments.NodeLevel()
+	check(err)
+	emit("node_level", nodeTable)
+
+	addr, err := experiments.Addressing()
+	check(err)
+	emit("addressing", addr)
+
+	fig6a, err := s.Fig6a()
+	check(err)
+	emit("fig6a_latency", fig6a)
+
+	fig6b, err := s.Fig6b()
+	check(err)
+	emit("fig6b_latency", fig6b)
+
+	thr, err := s.Table1Throughput()
+	check(err)
+	emit("table1_throughput", thr)
+
+	pwr, err := s.Table1Power()
+	check(err)
+	emit("table1_power", pwr)
+
+	if *sats {
+		fmt.Println("== saturation loads (diagnostics) ==")
+		for _, line := range s.SatLoads() {
+			fmt.Println("  " + line)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("regenerated all experiments in %.1fs\n", time.Since(start).Seconds())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

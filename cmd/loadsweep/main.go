@@ -1,0 +1,60 @@
+// Command loadsweep prints the classic latency-versus-offered-load curve
+// of one or more networks under a benchmark: a saturation search anchors
+// each network's load grid, then every grid point is simulated.
+//
+//	loadsweep -bench Multicast10 -points 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncnoc"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "UniformRandom", "benchmark name")
+		networks  = flag.String("networks", "Baseline,BasicNonSpeculative,OptHybridSpeculative", "comma-separated network names")
+		n         = flag.Int("n", 8, "MoT radix")
+		points    = flag.Int("points", 8, "grid points up to max fraction of saturation")
+		maxFrac   = flag.Float64("maxfrac", 0.95, "highest load as a fraction of saturation")
+		seed      = flag.Uint64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	bench, err := asyncnoc.BenchmarkByName(*n, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+	base := asyncnoc.RunConfig{
+		Bench: bench, Seed: *seed,
+		Warmup:  200 * asyncnoc.Nanosecond,
+		Measure: 1200 * asyncnoc.Nanosecond,
+		Drain:   600 * asyncnoc.Nanosecond,
+	}
+	for _, name := range strings.Split(*networks, ",") {
+		spec, err := asyncnoc.NetworkByName(*n, strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		pts, err := asyncnoc.LoadSweep(spec, base, *points, *maxFrac)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s / %s\n", spec.Name, bench.Name())
+		fmt.Printf("%10s %12s %12s %12s %10s\n", "frac sat", "load GF/s", "latency ns", "thr GF/s", "complete")
+		for _, p := range pts {
+			fmt.Printf("%10.2f %12.3f %12.2f %12.3f %9.0f%%\n",
+				p.FractionOfSat, p.Result.LoadGFs, p.Result.AvgLatencyNs,
+				p.Result.ThroughputGFs, 100*p.Result.Completion)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadsweep:", err)
+	os.Exit(1)
+}

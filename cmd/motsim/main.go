@@ -1,0 +1,155 @@
+// Command motsim runs one simulation of an asynchronous MoT multicast
+// network and prints its measurements.
+//
+// Usage:
+//
+//	motsim -network OptHybridSpeculative -bench Multicast10 -load 0.4 \
+//	       -n 8 -seed 1 -warmup 320 -measure 3200 -drain 800
+//
+// Loads are offered gigaflits per second per source; windows are in
+// nanoseconds. With -sat the tool searches for the saturation throughput
+// instead of running at a fixed load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncnoc"
+)
+
+func main() {
+	var (
+		networkName = flag.String("network", "OptHybridSpeculative", "network architecture (use -list for names)")
+		benchName   = flag.String("bench", "UniformRandom", "benchmark (use -list for names)")
+		n           = flag.Int("n", 8, "MoT radix (power of two)")
+		load        = flag.Float64("load", 0.4, "offered load in GF/s per source")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		warmup      = flag.Int("warmup", 320, "warmup window (ns)")
+		measure     = flag.Int("measure", 3200, "measurement window (ns)")
+		drain       = flag.Int("drain", 800, "drain window (ns)")
+		sat         = flag.Bool("sat", false, "search for saturation throughput instead of a fixed-load run")
+		list        = flag.Bool("list", false, "list network and benchmark names")
+		vcdPath     = flag.String("vcd", "", "dump handshake activity to this VCD file")
+		util        = flag.Bool("util", false, "print per-level fanout utilization after the run")
+		draw        = flag.Bool("draw", false, "print the fanout-tree placement diagram and exit")
+		hist        = flag.Bool("hist", false, "print a latency histogram after the run")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("networks:")
+		for _, s := range asyncnoc.AllNetworks(8) {
+			fmt.Printf("  %s\n", s.Name)
+		}
+		fmt.Println("benchmarks:")
+		for _, b := range asyncnoc.Benchmarks(8) {
+			fmt.Printf("  %s\n", b.Name())
+		}
+		return
+	}
+
+	spec, err := asyncnoc.NetworkByName(*n, *networkName)
+	if err != nil {
+		fatal(err)
+	}
+	if *draw {
+		out, err := asyncnoc.DrawPlacement(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	bench, err := asyncnoc.BenchmarkByName(*n, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := asyncnoc.RunConfig{
+		Bench:   bench,
+		LoadGFs: *load,
+		Seed:    *seed,
+		Warmup:  asyncnoc.Time(*warmup) * asyncnoc.Nanosecond,
+		Measure: asyncnoc.Time(*measure) * asyncnoc.Nanosecond,
+		Drain:   asyncnoc.Time(*drain) * asyncnoc.Nanosecond,
+	}
+
+	if *sat {
+		res, err := asyncnoc.Saturation(spec, asyncnoc.SatConfig{Base: cfg})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("network:               %s\n", res.Network)
+		fmt.Printf("benchmark:             %s\n", res.Benchmark)
+		fmt.Printf("saturation load:       %.3f GF/s per source\n", res.SatLoadGFs)
+		fmt.Printf("saturation throughput: %.3f GF/s per source (delivered)\n", res.ThroughputGFs)
+		fmt.Printf("zero-load latency:     %.2f ns\n", res.ZeroLoadLatencyNs)
+		fmt.Printf("latency at saturation: %.2f ns\n", res.AtSaturation.AvgLatencyNs)
+		return
+	}
+
+	var res asyncnoc.RunResult
+	if *util || *hist {
+		nw, err := asyncnoc.Build(spec, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		var u *asyncnoc.Utilization
+		if *util {
+			u = asyncnoc.AttachUtilization(nw)
+		}
+		nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+		res = asyncnoc.Collect(nw, cfg)
+		if u != nil {
+			fmt.Print(u.String())
+		}
+		if *hist {
+			if samples := nw.Rec.LatenciesNs(); len(samples) > 0 {
+				fmt.Println("latency histogram (ns):")
+				fmt.Print(asyncnoc.FormatLatencyHistogram(samples, 12, 40))
+			}
+		}
+	} else if *vcdPath != "" {
+		nw, err := asyncnoc.Build(spec, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := asyncnoc.AttachVCD(nw, f)
+		if err != nil {
+			fatal(err)
+		}
+		nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+		if err := rec.Close(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		res = asyncnoc.Collect(nw, cfg)
+		fmt.Printf("vcd written:      %s\n", *vcdPath)
+	} else {
+		r, err := asyncnoc.Run(spec, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = r
+	}
+	fmt.Printf("network:          %s\n", res.Network)
+	fmt.Printf("benchmark:        %s\n", res.Benchmark)
+	fmt.Printf("offered load:     %.3f GF/s per source\n", res.LoadGFs)
+	fmt.Printf("avg latency:      %.2f ns\n", res.AvgLatencyNs)
+	fmt.Printf("p95 latency:      %.2f ns\n", res.P95LatencyNs)
+	fmt.Printf("throughput:       %.3f GF/s per source (delivered)\n", res.ThroughputGFs)
+	fmt.Printf("network power:    %.2f mW\n", res.PowerMW)
+	fmt.Printf("completion:       %.1f%% of %d measured packets\n", 100*res.Completion, res.MeasuredPackets)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "motsim:", err)
+	os.Exit(1)
+}

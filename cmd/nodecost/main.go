@@ -1,0 +1,42 @@
+// Command nodecost prints the gate-level cost analysis of the six switch
+// designs: area, cell counts, critical paths, and per-design cell
+// histograms (Section 5.2(a) plus the breakdown behind it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncnoc"
+	"asyncnoc/internal/netlist"
+)
+
+func main() {
+	histograms := flag.Bool("cells", false, "print per-design cell histograms")
+	flag.Parse()
+
+	costs, err := asyncnoc.NodeCosts()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nodecost:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-28s %6s %10s %8s %12s\n", "node", "cells", "area um^2", "fwd ps", "body-fwd ps")
+	for _, c := range costs {
+		fmt.Printf("%-28s %6d %10.1f %8d %12d\n", c.Name, c.Cells, c.AreaUm2, c.ForwardPs, c.BodyForwardPs)
+	}
+	if !*histograms {
+		return
+	}
+	for _, c := range costs {
+		nl, err := netlist.Build(c.Name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nodecost:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s cell histogram:\n", c.Name)
+		for _, h := range nl.CellHistogram() {
+			fmt.Printf("  %-14s x%d\n", h.Cell, h.Count)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package asyncnoc_test
+
+import (
+	"fmt"
+
+	"asyncnoc"
+)
+
+// ExampleAddressSizesFor reproduces the Section 5.2(d) addressing table.
+func ExampleAddressSizesFor() {
+	for _, n := range []int{8, 16} {
+		sz, err := asyncnoc.AddressSizesFor(n)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%dx%d: baseline=%d non-spec=%d hybrid=%d all-spec=%d\n",
+			n, n, sz.Baseline, sz.NonSpeculative, sz.Hybrid, sz.AllSpeculative)
+	}
+	// Output:
+	// 8x8: baseline=3 non-spec=14 hybrid=12 all-spec=8
+	// 16x16: baseline=4 non-spec=30 hybrid=20 all-spec=16
+}
+
+// ExampleNodeCosts prints the gate-level costs of the two switch designs
+// at the heart of local speculation.
+func ExampleNodeCosts() {
+	costs, err := asyncnoc.NodeCosts()
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range costs {
+		if c.Name == "speculative-fanout" || c.Name == "non-speculative-fanout" {
+			fmt.Printf("%s: %.0f um^2, %d ps\n", c.Name, c.AreaUm2, c.ForwardPs)
+		}
+	}
+	// Output:
+	// speculative-fanout: 247 um^2, 52 ps
+	// non-speculative-fanout: 405 um^2, 299 ps
+}
+
+// ExampleRun simulates the headline network under uniform random traffic
+// and reports whether every packet was delivered.
+func ExampleRun() {
+	res, err := asyncnoc.Run(asyncnoc.OptHybridSpeculative(8), asyncnoc.RunConfig{
+		Bench:   asyncnoc.UniformRandom(8),
+		LoadGFs: 0.3,
+		Seed:    1,
+		Warmup:  100 * asyncnoc.Nanosecond,
+		Measure: 400 * asyncnoc.Nanosecond,
+		Drain:   400 * asyncnoc.Nanosecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("network=%s delivered=%.0f%%\n", res.Network, 100*res.Completion)
+	// Output:
+	// network=OptHybridSpeculative delivered=100%
+}
+
+// ExampleNewNetwork traces a single multicast through the hybrid network,
+// counting the throttled redundant flits of the speculative root.
+func ExampleNewNetwork() {
+	nw, err := asyncnoc.NewNetwork(asyncnoc.BasicHybridSpeculative(8))
+	if err != nil {
+		panic(err)
+	}
+	nw.Rec.SetWindow(0, 1<<62)
+	throttled := 0
+	nw.Trace = func(ev asyncnoc.TraceEvent) {
+		if ev.Kind == asyncnoc.TraceThrottle {
+			throttled++
+		}
+	}
+	if _, err := nw.Inject(0, asyncnoc.Dests(0, 2, 3)); err != nil {
+		panic(err)
+	}
+	nw.Sched.Run()
+	fmt.Printf("redundant flits throttled: %d\n", throttled)
+	// Output:
+	// redundant flits throttled: 5
+}
+
+// ExampleRunSchedule replays an explicit three-packet workload.
+func ExampleRunSchedule() {
+	sched := asyncnoc.Schedule{
+		{At: 0, Src: 0, Dests: asyncnoc.Dests(7)},
+		{At: 500, Src: 3, Dests: asyncnoc.Dests(1, 6)},
+		{At: 900, Src: 5, Dests: asyncnoc.Dests(0, 2, 4)},
+	}
+	res, err := asyncnoc.RunSchedule(asyncnoc.OptHybridSpeculative(8), sched, 2000*asyncnoc.Nanosecond)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("packets=%d delivered=%.0f%%\n", res.MeasuredPackets, 100*res.Completion)
+	// Output:
+	// packets=3 delivered=100%
+}

@@ -1,0 +1,62 @@
+// Design-space exploration: the paper notes that larger MoTs open "a
+// family of many possibilities" for mixing speculative and
+// non-speculative levels (Figure 3(d)). This example sweeps EVERY legal
+// per-level speculation placement of an 8x8 and a 16x16 MoT (the last
+// level must stay non-speculative), measuring header address size,
+// latency, throughput-at-fixed-load, and power under Multicast10 — the
+// exhaustive version of the paper's three-point exploration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncnoc"
+)
+
+func main() {
+	for _, n := range []int{8, 16} {
+		sweep(n)
+		fmt.Println()
+	}
+}
+
+func sweep(n int) {
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	fmt.Printf("%dx%d MoT, Multicast10 at 0.30 GF/s per source (S=speculative level, root first):\n", n, n)
+	fmt.Printf("%-10s %10s %12s %12s %12s\n", "placement", "addr bits", "latency ns", "thr GF/s", "power mW")
+
+	// Enumerate all placements of the first levels-1 tree levels.
+	for mask := 0; mask < 1<<(levels-1); mask++ {
+		spec := make([]bool, levels)
+		name := make([]byte, levels)
+		addrNodes := 0
+		for lvl := 0; lvl < levels; lvl++ {
+			spec[lvl] = lvl < levels-1 && mask&(1<<lvl) != 0
+			if spec[lvl] {
+				name[lvl] = 'S'
+			} else {
+				name[lvl] = 'N'
+				addrNodes += 1 << lvl
+			}
+		}
+		net := asyncnoc.CustomHybrid(n, spec)
+		cfg := asyncnoc.RunConfig{
+			Bench:   asyncnoc.MulticastFraction(n, 0.10),
+			LoadGFs: 0.30,
+			Seed:    5,
+			Warmup:  200 * asyncnoc.Nanosecond,
+			Measure: 1500 * asyncnoc.Nanosecond,
+			Drain:   600 * asyncnoc.Nanosecond,
+		}
+		res, err := asyncnoc.Run(net, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10d %12.2f %12.3f %12.2f\n",
+			string(name), 2*addrNodes, res.AvgLatencyNs, res.ThroughputGFs, res.PowerMW)
+	}
+}

@@ -1,0 +1,3 @@
+module asyncnoc
+
+go 1.22

@@ -1,0 +1,49 @@
+// Golden regression locks: fixed-seed short runs with exact expected
+// measurements. These values change ONLY when the timing, energy, or
+// protocol model changes — any such change must be deliberate and these
+// constants updated alongside it (they are printed on failure).
+package asyncnoc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asyncnoc"
+)
+
+func goldenCfg() asyncnoc.RunConfig {
+	return asyncnoc.RunConfig{
+		Bench:   asyncnoc.MulticastFraction(8, 0.10),
+		LoadGFs: 0.4,
+		Seed:    2016,
+		Warmup:  150 * asyncnoc.Nanosecond,
+		Measure: 600 * asyncnoc.Nanosecond,
+		Drain:   400 * asyncnoc.Nanosecond,
+	}
+}
+
+func TestGoldenRuns(t *testing.T) {
+	want := map[string]string{
+		"Baseline":               "lat=3.9997 thr=0.5015 pwr=19.7937 compl=1.0000 n=362",
+		"BasicNonSpeculative":    "lat=2.6561 thr=0.4994 pwr=19.3047 compl=1.0000 n=362",
+		"BasicHybridSpeculative": "lat=2.1382 thr=0.4994 pwr=20.7905 compl=1.0000 n=362",
+		"OptHybridSpeculative":   "lat=1.9694 thr=0.4996 pwr=19.6090 compl=1.0000 n=362",
+		"OptNonSpeculative":      "lat=2.1989 thr=0.4998 pwr=18.5282 compl=1.0000 n=362",
+		"OptAllSpeculative":      "lat=1.8024 thr=0.4996 pwr=22.8525 compl=1.0000 n=362",
+	}
+	for _, spec := range asyncnoc.AllNetworks(8) {
+		res, err := asyncnoc.Run(spec, goldenCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("lat=%.4f thr=%.4f pwr=%.4f compl=%.4f n=%d",
+			res.AvgLatencyNs, res.ThroughputGFs, res.PowerMW, res.Completion, res.MeasuredPackets)
+		if want[spec.Name] == "" {
+			t.Logf("GOLDEN %s: %s", spec.Name, got)
+			continue
+		}
+		if got != want[spec.Name] {
+			t.Errorf("%s drifted:\n got  %s\n want %s", spec.Name, got, want[spec.Name])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package cell defines the technology library used to model the paper's
+// gate-level node implementations.
+//
+// The paper maps its switch designs to the FreePDK Nangate 45 nm standard
+// cell library (Cadence Virtuoso, Spectre-extracted delays, typical
+// corner). That flow cannot be shipped, so this package provides a small
+// substitute library whose cell areas follow the published Nangate 45 nm
+// cell sizes and whose propagation delays are calibrated to typical-corner
+// 45 nm figures. Asynchronous primitives that Nangate lacks (Muller
+// C-element, toggle element, mutual-exclusion arbiter) are sized as the
+// gate compositions commonly used to build them.
+//
+// Each cell carries a single propagation delay: the worst pin-to-pin arc
+// that matters on the forward (request) path of the node designs in
+// internal/netlist. Level-sensitive latches appear twice — LatchT for the
+// transparent D->Q arc and LatchE for the enable->Q arc — because the two
+// arcs appear on different paths of the node designs; both refer to the
+// same physical cell and share one area.
+package cell
+
+import "fmt"
+
+// Type describes one library cell.
+type Type struct {
+	// Name is the library cell name.
+	Name string
+	// Area is the placed cell area in square micrometres.
+	Area float64
+	// Delay is the modeled propagation delay in picoseconds for the
+	// timing arc this Type represents.
+	Delay int
+	// Inputs is the input pin count (used for netlist validation).
+	Inputs int
+	// EnergyFJ is the switching energy per output transition in
+	// femtojoules (typical corner, nominal load), the per-cell basis of
+	// the netlist switching-energy analysis.
+	EnergyFJ float64
+}
+
+// String formats the cell for listings.
+func (t *Type) String() string {
+	return fmt.Sprintf("%s(%.3fum2,%dps)", t.Name, t.Area, t.Delay)
+}
+
+// The library. Areas follow Nangate 45 nm X1 drive cells; composite
+// asynchronous primitives are sized as their usual gate realizations.
+var (
+	// Inv is a static CMOS inverter.
+	Inv = &Type{Name: "INV_X1", Area: 0.532, Delay: 12, Inputs: 1, EnergyFJ: 0.6}
+	// Buf is a buffer (also used as a matched-delay element).
+	Buf = &Type{Name: "BUF_X1", Area: 0.798, Delay: 20, Inputs: 1, EnergyFJ: 0.9}
+	// Buf4 is a high-drive buffer for channel and enable-tree driving.
+	Buf4 = &Type{Name: "BUF_X4", Area: 1.596, Delay: 28, Inputs: 1, EnergyFJ: 1.9}
+	// Nand2 is a 2-input NAND.
+	Nand2 = &Type{Name: "NAND2_X1", Area: 0.798, Delay: 14, Inputs: 2, EnergyFJ: 0.8}
+	// Nand3 is a 3-input NAND.
+	Nand3 = &Type{Name: "NAND3_X1", Area: 1.064, Delay: 18, Inputs: 3, EnergyFJ: 1.1}
+	// Nor2 is a 2-input NOR.
+	Nor2 = &Type{Name: "NOR2_X1", Area: 0.798, Delay: 16, Inputs: 2, EnergyFJ: 0.8}
+	// And2 is a 2-input AND.
+	And2 = &Type{Name: "AND2_X1", Area: 1.064, Delay: 22, Inputs: 2, EnergyFJ: 1.0}
+	// Or2 is a 2-input OR.
+	Or2 = &Type{Name: "OR2_X1", Area: 1.064, Delay: 24, Inputs: 2, EnergyFJ: 1.0}
+	// Aoi22 is a 2x2 AND-OR-INVERT, the core of a standard C-element.
+	Aoi22 = &Type{Name: "AOI22_X1", Area: 1.330, Delay: 20, Inputs: 4, EnergyFJ: 1.2}
+	// Xor2 is a 2-input XOR, used for two-phase transition detection.
+	Xor2 = &Type{Name: "XOR2_X1", Area: 1.596, Delay: 30, Inputs: 2, EnergyFJ: 1.6}
+	// Xnor2 is a 2-input XNOR, used for phase-equality flow control.
+	Xnor2 = &Type{Name: "XNOR2_X1", Area: 1.596, Delay: 30, Inputs: 2, EnergyFJ: 1.6}
+	// Mux2 is a 2:1 multiplexer.
+	Mux2 = &Type{Name: "MUX2_X1", Area: 1.862, Delay: 26, Inputs: 3, EnergyFJ: 1.7}
+	// C2 is a 2-input Muller C-element (AOI22 + inverter with
+	// feedback, modeled as one cell). Output toggles only after both
+	// inputs toggle — the speculative node's ack joiner.
+	C2 = &Type{Name: "C2", Area: 1.862, Delay: 34, Inputs: 2, EnergyFJ: 1.7}
+	// LatchT is a level-sensitive latch, transparent D->Q arc. The
+	// normally-transparent output ports of speculative nodes ride this
+	// arc.
+	LatchT = &Type{Name: "DLL_X1/D->Q", Area: 2.660, Delay: 17, Inputs: 2, EnergyFJ: 2.4}
+	// LatchE is the same latch's enable->Q arc, used where a normally-
+	// opaque port must first be enabled by routing logic.
+	LatchE = &Type{Name: "DLL_X1/G->Q", Area: 2.660, Delay: 45, Inputs: 2, EnergyFJ: 2.4}
+	// Toggle is a transition (T) element: one output transition per
+	// input transition, built from an XOR-latch loop.
+	Toggle = &Type{Name: "TOGGLE", Area: 4.256, Delay: 48, Inputs: 1, EnergyFJ: 3.8}
+	// Mutex is a two-way mutual-exclusion element (metastability
+	// filter), the arbitration core of the fanin node.
+	Mutex = &Type{Name: "MUTEX2", Area: 3.990, Delay: 55, Inputs: 2, EnergyFJ: 3.5}
+)
+
+// All lists every cell type in the library.
+func All() []*Type {
+	return []*Type{
+		Inv, Buf, Buf4, Nand2, Nand3, Nor2, And2, Or2, Aoi22,
+		Xor2, Xnor2, Mux2, C2, LatchT, LatchE, Toggle, Mutex,
+	}
+}

@@ -1,0 +1,68 @@
+package cell
+
+import "testing"
+
+func TestAllCellsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range All() {
+		if c.Name == "" {
+			t.Error("cell with empty name")
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate cell name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Area <= 0 {
+			t.Errorf("%s: non-positive area %v", c.Name, c.Area)
+		}
+		if c.Delay <= 0 {
+			t.Errorf("%s: non-positive delay %d", c.Name, c.Delay)
+		}
+		if c.Inputs < 1 {
+			t.Errorf("%s: input count %d", c.Name, c.Inputs)
+		}
+	}
+	if len(seen) < 15 {
+		t.Errorf("library has only %d cells", len(seen))
+	}
+}
+
+func TestNangateAreaQuantization(t *testing.T) {
+	// Nangate 45 nm areas are multiples of half a placement site
+	// (0.266 um^2); the library must respect the grid.
+	const site = 0.266
+	for _, c := range All() {
+		ratio := c.Area / site
+		if r := ratio - float64(int(ratio+0.5)); r > 1e-6 || r < -1e-6 {
+			t.Errorf("%s area %.3f not on the %.3f site grid", c.Name, c.Area, site)
+		}
+	}
+}
+
+func TestRelativeCellCosts(t *testing.T) {
+	// Sanity relations any real library satisfies.
+	if Inv.Area >= Nand2.Area && Inv.Name != "" {
+		t.Error("inverter not smaller than NAND2")
+	}
+	if Xor2.Delay <= Nand2.Delay {
+		t.Error("XOR2 not slower than NAND2")
+	}
+	if LatchT.Area != LatchE.Area {
+		t.Error("the two latch arcs must share one physical cell area")
+	}
+	if LatchT.Delay >= LatchE.Delay {
+		t.Error("transparent D->Q arc must be faster than enable->Q")
+	}
+	if C2.Delay <= Nand2.Delay {
+		t.Error("C-element not slower than a simple gate")
+	}
+	if Mutex.Delay <= C2.Delay {
+		t.Error("mutex not slower than a C-element")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Inv.String(); got != "INV_X1(0.532um2,12ps)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/network"
+	"asyncnoc/internal/rng"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/traffic"
+)
+
+// RunConfig parameterizes one simulation run. Packet injection at every
+// source is an open-loop Poisson process whose rate realizes LoadGFs
+// offered flits per nanosecond per source.
+type RunConfig struct {
+	// Bench generates destination sets.
+	Bench traffic.Benchmark
+	// LoadGFs is the offered load in gigaflits/s (== flits/ns) per source.
+	LoadGFs float64
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+	// Warmup precedes the measurement window (Section 5.1 uses long
+	// warmup phases).
+	Warmup sim.Time
+	// Measure is the measurement window length.
+	Measure sim.Time
+	// Drain is extra simulated time after the window during which
+	// injection continues (holding the network at load) so measured
+	// packets can complete under steady-state conditions.
+	Drain sim.Time
+}
+
+// Validate checks the configuration.
+func (c RunConfig) Validate() error {
+	if c.Bench == nil {
+		return fmt.Errorf("core: RunConfig needs a benchmark")
+	}
+	if c.LoadGFs <= 0 {
+		return fmt.Errorf("core: offered load %v must be positive", c.LoadGFs)
+	}
+	if c.Warmup < 0 || c.Measure <= 0 || c.Drain < 0 {
+		return fmt.Errorf("core: invalid windows (warmup %v, measure %v, drain %v)", c.Warmup, c.Measure, c.Drain)
+	}
+	return nil
+}
+
+// RunResult summarizes one run.
+type RunResult struct {
+	Network   string
+	Benchmark string
+	// LoadGFs echoes the offered per-source load.
+	LoadGFs float64
+	// AvgLatencyNs is the mean network latency (injection to arrival of
+	// all headers) of packets injected inside the measurement window.
+	AvgLatencyNs float64
+	// P95LatencyNs is the 95th-percentile latency.
+	P95LatencyNs float64
+	// ThroughputGFs is the accepted throughput: flit deliveries in the
+	// window per nanosecond per source.
+	ThroughputGFs float64
+	// PowerMW is the total network power over the window.
+	PowerMW float64
+	// Completion is the fraction of measured packets fully delivered by
+	// the end of the run (1.0 in any uncongested network).
+	Completion float64
+	// MeasuredPackets is the number of packets injected in the window.
+	MeasuredPackets int
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(spec network.Spec, cfg RunConfig) (RunResult, error) {
+	nw, err := Build(spec, cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	total := cfg.Warmup + cfg.Measure + cfg.Drain
+	nw.Sched.RunUntil(total)
+	return Collect(nw, cfg), nil
+}
+
+// Build constructs the network with injection processes armed and
+// measurement windows set, but does not run it. Callers that need custom
+// instrumentation (tracing, stepping) use Build + Collect directly.
+func Build(spec network.Spec, cfg RunConfig) (*network.Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nw, err := network.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	windowEnd := cfg.Warmup + cfg.Measure
+	nw.Rec.SetWindow(cfg.Warmup, windowEnd)
+	nw.Meter.SetWindow(cfg.Warmup, windowEnd)
+	injectUntil := windowEnd + cfg.Drain
+	// Mean packet inter-arrival in ps: PacketLen flits at LoadGFs
+	// flits/ns per source.
+	meanGapPs := float64(spec.PacketLen) / cfg.LoadGFs * 1000
+	root := rng.New(cfg.Seed)
+	for s := 0; s < spec.N; s++ {
+		s := s
+		r := root.Split()
+		var arm func()
+		arm = func() {
+			if nw.Sched.Now() >= injectUntil {
+				return
+			}
+			if _, err := nw.Inject(s, cfg.Bench.NextDests(s, r)); err != nil {
+				panic(err) // benchmark produced an invalid destination set
+			}
+			nw.Sched.After(gap(r, meanGapPs), arm)
+		}
+		nw.Sched.Schedule(gap(r, meanGapPs), arm)
+	}
+	return nw, nil
+}
+
+// gap draws an exponential inter-arrival time of at least 1 ps.
+func gap(r *rng.Source, meanPs float64) sim.Time {
+	g := sim.Time(r.Exp(meanPs))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Collect extracts the run's measurements from a finished network.
+func Collect(nw *network.Network, cfg RunConfig) RunResult {
+	res := RunResult{
+		Network:         nw.Spec.Name,
+		Benchmark:       cfg.Bench.Name(),
+		LoadGFs:         cfg.LoadGFs,
+		ThroughputGFs:   nw.Rec.ThroughputGFs(nw.Spec.N),
+		PowerMW:         nw.Meter.PowerMW(),
+		Completion:      nw.Rec.CompletionRate(),
+		MeasuredPackets: nw.Rec.MeasuredCreated(),
+	}
+	res.AvgLatencyNs, _ = nw.Rec.AvgLatencyNs()
+	res.P95LatencyNs, _ = nw.Rec.P95LatencyNs()
+	return res
+}

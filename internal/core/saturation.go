@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/network"
+)
+
+// SatConfig parameterizes the saturation-throughput search of Table 1.
+//
+// Saturation is detected the standard way: the offered load at which the
+// average latency diverges past LatencyFactor times the zero-load latency,
+// or at which the network stops completing its measured packets. The
+// boundary is located by doubling then bisection on the offered load.
+type SatConfig struct {
+	// Base supplies benchmark, seed, and windows; its LoadGFs is ignored.
+	Base RunConfig
+	// LatencyFactor is the divergence multiple over zero-load latency
+	// (default 4).
+	LatencyFactor float64
+	// MinCompletion is the fraction of measured packets that must
+	// complete for a load to count as stable (default 0.92).
+	MinCompletion float64
+	// ZeroLoadGFs is the probe load for the zero-load latency
+	// (default 0.05).
+	ZeroLoadGFs float64
+	// StartLoad seeds the upward search (default 0.4).
+	StartLoad float64
+	// MaxLoad caps the search (default 16).
+	MaxLoad float64
+	// Iters is the bisection depth (default 9, ~0.2% resolution).
+	Iters int
+}
+
+func (c *SatConfig) defaults() {
+	if c.LatencyFactor == 0 {
+		c.LatencyFactor = 4
+	}
+	if c.MinCompletion == 0 {
+		c.MinCompletion = 0.92
+	}
+	if c.ZeroLoadGFs == 0 {
+		c.ZeroLoadGFs = 0.05
+	}
+	if c.StartLoad == 0 {
+		c.StartLoad = 0.4
+	}
+	if c.MaxLoad == 0 {
+		c.MaxLoad = 16
+	}
+	if c.Iters == 0 {
+		c.Iters = 9
+	}
+}
+
+// SatResult reports a saturation search outcome.
+type SatResult struct {
+	Network   string
+	Benchmark string
+	// SatLoadGFs is the highest stable offered load found.
+	SatLoadGFs float64
+	// ThroughputGFs is the accepted (delivered) throughput at that
+	// load — the "saturation throughput" of Table 1. For multicast
+	// traffic it exceeds the offered load because replicated deliveries
+	// count at every destination.
+	ThroughputGFs float64
+	// ZeroLoadLatencyNs anchors the divergence criterion.
+	ZeroLoadLatencyNs float64
+	// AtSaturation is the full measurement at the stable boundary load.
+	AtSaturation RunResult
+}
+
+// Saturation searches for the saturation throughput of one network under
+// one benchmark.
+func Saturation(spec network.Spec, cfg SatConfig) (SatResult, error) {
+	return SaturationWith(spec.Name, cfg, func(load float64) (RunResult, error) {
+		c := cfg.Base
+		c.LoadGFs = load
+		return Run(spec, c)
+	})
+}
+
+// SaturationWith runs the saturation search against an arbitrary runner
+// (the mesh substrate reuses it); name labels error messages.
+func SaturationWith(name string, cfg SatConfig, run func(load float64) (RunResult, error)) (SatResult, error) {
+	cfg.defaults()
+	zero, err := run(cfg.ZeroLoadGFs)
+	if err != nil {
+		return SatResult{}, err
+	}
+	if zero.MeasuredPackets == 0 || zero.Completion == 0 {
+		return SatResult{}, fmt.Errorf("core: zero-load probe of %s measured no packets; widen the windows", name)
+	}
+	saturated := func(r RunResult) bool {
+		return r.Completion < cfg.MinCompletion ||
+			r.AvgLatencyNs > cfg.LatencyFactor*zero.AvgLatencyNs
+	}
+
+	lo, hi := 0.0, cfg.StartLoad
+	var loRes RunResult
+	// Grow hi until it saturates (or the cap is hit).
+	for {
+		r, err := run(hi)
+		if err != nil {
+			return SatResult{}, err
+		}
+		if saturated(r) {
+			break
+		}
+		lo, loRes = hi, r
+		if hi >= cfg.MaxLoad {
+			// Never saturated within the cap: report the cap.
+			return SatResult{
+				Network: name, Benchmark: cfg.Base.Bench.Name(),
+				SatLoadGFs: lo, ThroughputGFs: r.ThroughputGFs,
+				ZeroLoadLatencyNs: zero.AvgLatencyNs, AtSaturation: r,
+			}, nil
+		}
+		hi *= 2
+		if hi > cfg.MaxLoad {
+			hi = cfg.MaxLoad
+		}
+	}
+	// Bisect the boundary.
+	for i := 0; i < cfg.Iters; i++ {
+		mid := (lo + hi) / 2
+		r, err := run(mid)
+		if err != nil {
+			return SatResult{}, err
+		}
+		if saturated(r) {
+			hi = mid
+		} else {
+			lo, loRes = mid, r
+		}
+	}
+	if lo == 0 {
+		// Even StartLoad saturated and bisection never found a stable
+		// point above zero; fall back to the zero-load probe.
+		lo, loRes = cfg.ZeroLoadGFs, zero
+	}
+	return SatResult{
+		Network:           name,
+		Benchmark:         cfg.Base.Bench.Name(),
+		SatLoadGFs:        lo,
+		ThroughputGFs:     loRes.ThroughputGFs,
+		ZeroLoadLatencyNs: zero.AvgLatencyNs,
+		AtSaturation:      loRes,
+	}, nil
+}

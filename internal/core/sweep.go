@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/network"
+)
+
+// SweepPoint is one measurement of a latency-versus-offered-load curve.
+type SweepPoint struct {
+	// FractionOfSat is the point's position on the load grid.
+	FractionOfSat float64
+	// Result is the measurement at that offered load.
+	Result RunResult
+}
+
+// LoadGrid returns `points` load values spread over (0, maxFraction] of
+// the saturation load — the classic latency-throughput curve grid.
+func LoadGrid(satLoad float64, points int, maxFraction float64) []float64 {
+	if points < 1 || satLoad <= 0 || maxFraction <= 0 {
+		return nil
+	}
+	out := make([]float64, points)
+	for i := range out {
+		out[i] = satLoad * maxFraction * float64(i+1) / float64(points)
+	}
+	return out
+}
+
+// LoadSweep measures the latency-throughput curve of one network under
+// one benchmark: a saturation search anchors the grid, then each load
+// fraction runs with the base windows.
+func LoadSweep(spec network.Spec, base RunConfig, points int, maxFraction float64) ([]SweepPoint, error) {
+	if points < 1 {
+		return nil, fmt.Errorf("core: sweep needs at least one point")
+	}
+	sat, err := Saturation(spec, SatConfig{Base: base})
+	if err != nil {
+		return nil, err
+	}
+	grid := LoadGrid(sat.SatLoadGFs, points, maxFraction)
+	out := make([]SweepPoint, 0, len(grid))
+	for i, load := range grid {
+		cfg := base
+		cfg.LoadGFs = load
+		res, err := Run(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			FractionOfSat: maxFraction * float64(i+1) / float64(points),
+			Result:        res,
+		})
+	}
+	return out, nil
+}

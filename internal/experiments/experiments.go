@@ -1,0 +1,484 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): the node-level results, the contribution-
+// trajectory and design-space latency figures (Fig. 6a/6b), the
+// saturation-throughput and total-network-power tables (Table 1), and the
+// addressing-scheme comparison (Section 5.2(d)).
+//
+// A Suite memoizes the expensive saturation searches (each figure and
+// table reuses them) and runs independent simulations on a bounded worker
+// pool — every simulation owns its scheduler, so parallelism is safe.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"asyncnoc/internal/core"
+	"asyncnoc/internal/netlist"
+	"asyncnoc/internal/network"
+	"asyncnoc/internal/routing"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/traffic"
+)
+
+// Table is a formatted result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry methodology remarks printed under the table.
+	Notes []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Suite runs the evaluation with memoized saturation searches.
+type Suite struct {
+	// N is the MoT radix (the paper evaluates 8).
+	N int
+	// Seed drives all randomness.
+	Seed uint64
+	// SatWarmup/SatMeasure/SatDrain are the windows used inside the
+	// saturation search (shorter than the latency windows; the search
+	// runs a dozen simulations per network/benchmark pair).
+	SatWarmup, SatMeasure, SatDrain sim.Time
+	// LatWarmup/LatMeasure/LatDrain are the windows of the latency and
+	// power measurement runs (the paper uses 320 ns / 3200 ns).
+	LatWarmup, LatMeasure, LatDrain sim.Time
+	// SatIters is the bisection depth of the saturation search.
+	SatIters int
+	// Workers bounds simulation parallelism (default: GOMAXPROCS).
+	Workers int
+
+	mu   sync.Mutex
+	sats map[string]core.SatResult
+}
+
+// NewSuite returns a suite configured for full (paper-scale) or quick
+// (CI-scale) measurement windows.
+func NewSuite(quick bool) *Suite {
+	s := &Suite{
+		N:    8,
+		Seed: 2016,
+		sats: make(map[string]core.SatResult),
+	}
+	if quick {
+		s.SatWarmup, s.SatMeasure, s.SatDrain = 120*sim.Nanosecond, 400*sim.Nanosecond, 300*sim.Nanosecond
+		s.LatWarmup, s.LatMeasure, s.LatDrain = 200*sim.Nanosecond, 1200*sim.Nanosecond, 500*sim.Nanosecond
+		s.SatIters = 7
+	} else {
+		s.SatWarmup, s.SatMeasure, s.SatDrain = 200*sim.Nanosecond, 800*sim.Nanosecond, 500*sim.Nanosecond
+		s.LatWarmup, s.LatMeasure, s.LatDrain = 320*sim.Nanosecond, 3200*sim.Nanosecond, 800*sim.Nanosecond
+		s.SatIters = 9
+	}
+	return s
+}
+
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// satBase returns the saturation-search run template for a benchmark.
+func (s *Suite) satBase(bench traffic.Benchmark) core.RunConfig {
+	return core.RunConfig{
+		Bench: bench, Seed: s.Seed,
+		Warmup: s.SatWarmup, Measure: s.SatMeasure, Drain: s.SatDrain,
+	}
+}
+
+// Sat returns the (memoized) saturation result for one pair.
+func (s *Suite) Sat(spec network.Spec, bench traffic.Benchmark) (core.SatResult, error) {
+	key := spec.Name + "|" + bench.Name()
+	s.mu.Lock()
+	if r, ok := s.sats[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := core.Saturation(spec, core.SatConfig{Base: s.satBase(bench), Iters: s.SatIters})
+	if err != nil {
+		return core.SatResult{}, err
+	}
+	s.mu.Lock()
+	s.sats[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Prefetch computes the saturation results of all (spec, bench) pairs on
+// the worker pool, so subsequent table builds hit the memo.
+func (s *Suite) Prefetch(specs []network.Spec, benches []traffic.Benchmark) error {
+	type job struct {
+		spec  network.Spec
+		bench traffic.Benchmark
+	}
+	jobs := make(chan job)
+	errs := make(chan error, len(specs)*len(benches))
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := s.Sat(j.spec, j.bench); err != nil {
+					errs <- fmt.Errorf("%s/%s: %w", j.spec.Name, j.bench.Name(), err)
+				}
+			}
+		}()
+	}
+	for _, spec := range specs {
+		for _, bench := range benches {
+			jobs <- job{spec, bench}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// latencyAtQuarter measures average latency at 25% of the pair's own
+// saturation load (the Fig. 6 methodology).
+func (s *Suite) latencyAtQuarter(spec network.Spec, bench traffic.Benchmark) (core.RunResult, error) {
+	sat, err := s.Sat(spec, bench)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	cfg := core.RunConfig{
+		Bench: bench, Seed: s.Seed, LoadGFs: 0.25 * sat.SatLoadGFs,
+		Warmup: s.LatWarmup, Measure: s.LatMeasure, Drain: s.LatDrain,
+	}
+	return core.Run(spec, cfg)
+}
+
+// powerAtBaselineQuarter measures power at 25% of the *Baseline*
+// network's saturation for the benchmark — the Table 1 power
+// methodology, which uses one common injection rate per benchmark for a
+// normalized energy-per-packet comparison.
+func (s *Suite) powerAtBaselineQuarter(spec network.Spec, bench traffic.Benchmark) (core.RunResult, error) {
+	sat, err := s.Sat(core.Baseline(s.N), bench)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	cfg := core.RunConfig{
+		Bench: bench, Seed: s.Seed, LoadGFs: 0.25 * sat.SatLoadGFs,
+		Warmup: s.LatWarmup, Measure: s.LatMeasure, Drain: s.LatDrain,
+	}
+	return core.Run(spec, cfg)
+}
+
+// runMatrix evaluates fn for every (spec, bench) pair in parallel and
+// collects the results keyed by pair.
+func (s *Suite) runMatrix(specs []network.Spec, benches []traffic.Benchmark,
+	fn func(network.Spec, traffic.Benchmark) (core.RunResult, error)) (map[string]core.RunResult, error) {
+	type item struct {
+		key string
+		res core.RunResult
+		err error
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers())
+	out := make(chan item, len(specs)*len(benches))
+	for _, spec := range specs {
+		for _, bench := range benches {
+			spec, bench := spec, bench
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				res, err := fn(spec, bench)
+				out <- item{spec.Name + "|" + bench.Name(), res, err}
+			}()
+		}
+	}
+	wg.Wait()
+	close(out)
+	results := make(map[string]core.RunResult)
+	for it := range out {
+		if it.err != nil {
+			return nil, it.err
+		}
+		results[it.key] = it.res
+	}
+	return results, nil
+}
+
+// NodeLevel regenerates the Section 5.2(a) node-level results from the
+// gate netlists, alongside the paper's reported figures.
+func NodeLevel() (*Table, error) {
+	paper := map[string][2]string{
+		netlist.BaselineFanout:   {"342", "263"},
+		netlist.SpecFanout:       {"247", "52"},
+		netlist.NonSpecFanout:    {"406", "299"},
+		netlist.OptSpecFanout:    {"373", "120"},
+		netlist.OptNonSpecFanout: {"366", "279"},
+		netlist.FaninNode:        {"-", "-"},
+	}
+	t := &Table{
+		Title:   "Node-level results (Section 5.2(a)): area and forward latency",
+		Columns: []string{"node", "cells", "area um^2", "paper um^2", "fwd ps", "paper ps", "body-fwd ps"},
+		Notes: []string{
+			"areas and forward paths are computed from the gate-level netlists (internal/netlist)",
+			"body-fwd is the body-flit fast path of the channel pre-allocating node",
+		},
+	}
+	for _, name := range netlist.AllNodeNames() {
+		nl, err := netlist.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		fwd := nl.MustPath(netlist.NetReqIn, netlist.NetReqOut0)
+		body := fwd
+		if nl.Net(netlist.NetReqOutFast) != nil {
+			body = nl.MustPath(netlist.NetReqIn, netlist.NetReqOutFast)
+		}
+		p := paper[name]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", nl.CellCount()),
+			fmt.Sprintf("%.1f", nl.Area()),
+			p[0],
+			fmt.Sprintf("%d", fwd),
+			p[1],
+			fmt.Sprintf("%d", body),
+		})
+	}
+	return t, nil
+}
+
+// Fig6a regenerates the contribution-trajectory latency figure: average
+// network latency at 25% saturation for the four networks of the first
+// case study across all six benchmarks.
+func (s *Suite) Fig6a() (*Table, error) {
+	return s.latencyTable(
+		"Fig. 6(a): average network latency (ns) at 25% saturation — contribution trajectory",
+		core.ContributionTrajectory(s.N))
+}
+
+// Fig6b regenerates the design-space latency figure for the three
+// optimized networks.
+func (s *Suite) Fig6b() (*Table, error) {
+	return s.latencyTable(
+		"Fig. 6(b): average network latency (ns) at 25% saturation — design space exploration",
+		core.DesignSpace(s.N))
+}
+
+func (s *Suite) latencyTable(title string, specs []network.Spec) (*Table, error) {
+	benches := traffic.StandardSuite(s.N)
+	if err := s.Prefetch(specs, benches); err != nil {
+		return nil, err
+	}
+	results, err := s.runMatrix(specs, benches, s.latencyAtQuarter)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   title,
+		Columns: append([]string{"network"}, benchNames(benches)...),
+		Notes: []string{
+			"latency measured from packet injection to arrival of ALL headers at their destinations",
+			"load = 25% of each network's own saturation throughput for the benchmark",
+		},
+	}
+	for _, spec := range specs {
+		row := []string{spec.Name}
+		for _, bench := range benches {
+			r := results[spec.Name+"|"+bench.Name()]
+			row = append(row, fmt.Sprintf("%.2f", r.AvgLatencyNs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table1Throughput regenerates the saturation-throughput half of Table 1
+// for all six networks and benchmarks.
+func (s *Suite) Table1Throughput() (*Table, error) {
+	specs := core.AllSpecs(s.N)
+	benches := traffic.StandardSuite(s.N)
+	if err := s.Prefetch(specs, benches); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 1 (left): saturation throughput (GF/s per source)",
+		Columns: append([]string{"network"}, benchNames(benches)...),
+		Notes: []string{
+			"accepted throughput at the highest stable offered load (latency-divergence criterion)",
+			"multicast deliveries count at every destination, as in the paper",
+		},
+	}
+	for _, spec := range specs {
+		row := []string{spec.Name}
+		for _, bench := range benches {
+			sat, err := s.Sat(spec, bench)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", sat.ThroughputGFs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// PowerBenches lists the four benchmarks of Table 1's power half.
+func PowerBenches(n int) []traffic.Benchmark {
+	return []traffic.Benchmark{
+		traffic.UniformRandom{N: n},
+		traffic.Hotspot{N: n, Hot: 0},
+		traffic.Multicast{N: n, Frac: 0.05},
+		traffic.Multicast{N: n, Frac: 0.10},
+	}
+}
+
+// Table1Power regenerates the total-network-power half of Table 1: all
+// six networks at 25% of the Baseline's saturation per benchmark.
+func (s *Suite) Table1Power() (*Table, error) {
+	specs := core.AllSpecs(s.N)
+	benches := PowerBenches(s.N)
+	if err := s.Prefetch([]network.Spec{core.Baseline(s.N)}, benches); err != nil {
+		return nil, err
+	}
+	results, err := s.runMatrix(specs, benches, s.powerAtBaselineQuarter)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 1 (right): total network power (mW)",
+		Columns: append([]string{"network"}, benchNames(benches)...),
+		Notes: []string{
+			"injection rate = 25% of the Baseline network's saturation load per benchmark",
+			"energy charged per handshake event, proportional to switched node area",
+		},
+	}
+	for _, spec := range specs {
+		row := []string{spec.Name}
+		for _, bench := range benches {
+			r := results[spec.Name+"|"+bench.Name()]
+			row = append(row, fmt.Sprintf("%.1f", r.PowerMW))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Addressing regenerates the Section 5.2(d) address-size comparison for
+// 8x8 and 16x16 MoTs.
+func Addressing() (*Table, error) {
+	t := &Table{
+		Title:   "Addressing scheme comparison (Section 5.2(d)): header address bits",
+		Columns: []string{"MoT", "Baseline", "NonSpeculative", "Hybrid", "AllSpeculative", "BitVector[5]"},
+		Notes: []string{
+			"2 bits per addressable (non-speculative) fanout node; speculative nodes need no field",
+			"BitVector is the related-work destination-bitmask scheme of Krishna et al. [5]",
+		},
+	}
+	for _, n := range []int{8, 16} {
+		sz, err := routing.SizesFor(n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", n, n),
+			fmt.Sprintf("%d", sz.Baseline),
+			fmt.Sprintf("%d", sz.NonSpeculative),
+			fmt.Sprintf("%d", sz.Hybrid),
+			fmt.Sprintf("%d", sz.AllSpeculative),
+			fmt.Sprintf("%d", sz.BitVector),
+		})
+	}
+	return t, nil
+}
+
+// SatLoads exposes the memoized saturation loads (diagnostics), sorted.
+func (s *Suite) SatLoads() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.sats))
+	for k := range s.sats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s: load %.3f thr %.3f", k, s.sats[k].SatLoadGFs, s.sats[k].ThroughputGFs)
+	}
+	return out
+}
+
+func benchNames(benches []traffic.Benchmark) []string {
+	out := make([]string, len(benches))
+	for i, b := range benches {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+// CSV renders the table as RFC-4180-ish comma-separated values (title and
+// notes become comment lines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"asyncnoc/internal/core"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/traffic"
+)
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		Title:   "t",
+		Columns: []string{"a", "longcol"},
+		Rows:    [][]string{{"xxxxx", "1"}, {"y", "2"}},
+		Notes:   []string{"n1"},
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, "== t ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("formatted %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns aligned: both data rows start their second column at the
+	// same offset.
+	if strings.Index(lines[1], "1") != strings.Index(lines[2], "2") {
+		t.Errorf("columns unaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "note: n1") {
+		t.Error("missing note")
+	}
+}
+
+func TestNodeLevelTable(t *testing.T) {
+	tbl, err := NodeLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("node table has %d rows, want 6", len(tbl.Rows))
+	}
+	// Measured columns must match the paper columns for the five fanout
+	// designs (areas to within rounding, latencies exactly).
+	for _, row := range tbl.Rows {
+		if row[3] == "-" {
+			continue // fanin: no paper reference
+		}
+		if row[4] != row[5] {
+			t.Errorf("%s: forward %s ps != paper %s ps", row[0], row[4], row[5])
+		}
+	}
+}
+
+func TestAddressingTable(t *testing.T) {
+	tbl, err := Addressing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"8x8", "3", "14", "12", "8"},
+		{"16x16", "4", "30", "20", "16"},
+	}
+	if len(tbl.Rows) != len(want) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i, row := range want {
+		for j, cell := range row {
+			if tbl.Rows[i][j] != cell {
+				t.Errorf("row %d col %d = %q, want %q", i, j, tbl.Rows[i][j], cell)
+			}
+		}
+	}
+}
+
+// tinySuite is small enough for unit tests.
+func tinySuite() *Suite {
+	s := NewSuite(true)
+	s.SatWarmup, s.SatMeasure, s.SatDrain = 80*sim.Nanosecond, 250*sim.Nanosecond, 200*sim.Nanosecond
+	s.LatWarmup, s.LatMeasure, s.LatDrain = 100*sim.Nanosecond, 400*sim.Nanosecond, 300*sim.Nanosecond
+	s.SatIters = 5
+	return s
+}
+
+func TestSatMemoization(t *testing.T) {
+	s := tinySuite()
+	spec := core.Baseline(8)
+	bench := traffic.Shuffle{N: 8}
+	a, err := s.Sat(spec, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sat(spec, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("memoized saturation differs")
+	}
+	if len(s.SatLoads()) != 1 {
+		t.Errorf("memo holds %d entries, want 1", len(s.SatLoads()))
+	}
+}
+
+func TestFig6bTinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := tinySuite()
+	tbl, err := s.Fig6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 || len(tbl.Rows[0]) != 7 {
+		t.Fatalf("fig6b shape %dx%d", len(tbl.Rows), len(tbl.Rows[0]))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			if cell == "0.00" {
+				t.Errorf("%s has a zero latency cell", row[0])
+			}
+		}
+	}
+}
+
+func TestTable1PowerTinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := tinySuite()
+	tbl, err := s.Table1Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 || len(tbl.Rows[0]) != 5 {
+		t.Fatalf("power table shape %dx%d", len(tbl.Rows), len(tbl.Rows[0]))
+	}
+}
+
+func TestPowerBenches(t *testing.T) {
+	benches := PowerBenches(8)
+	if len(benches) != 4 {
+		t.Fatalf("%d power benches, want 4", len(benches))
+	}
+	wantNames := []string{"UniformRandom", "Hotspot", "Multicast5", "Multicast10"}
+	for i, b := range benches {
+		if b.Name() != wantNames[i] {
+			t.Errorf("bench %d = %q, want %q", i, b.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x,y", `q"z`}, {"1", "2"}},
+		Notes:   []string{"n"},
+	}
+	csv := tbl.CSV()
+	want := []string{
+		"# t\n",
+		"a,b\n",
+		"\"x,y\",\"q\"\"z\"\n",
+		"1,2\n",
+		"# n\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(csv, w) {
+			t.Errorf("CSV missing %q:\n%s", w, csv)
+		}
+	}
+}

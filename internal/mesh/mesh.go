@@ -1,0 +1,289 @@
+// Package mesh implements the paper's future-work topology: a 2D-mesh
+// asynchronous NoC with XY dimension-order routing and tree-based
+// (destination-encoded) multicast, built on the same discrete-event,
+// handshake-level machinery as the Mesh-of-Trees networks.
+//
+// Each tile carries an asynchronous five-port router whose timing and
+// area come from the gate-level model in internal/netlist (BuildMeshRouter).
+// Multicast headers carry a destination bitmask that is pruned at every
+// replication: a router partitions its branch's destinations over the XY
+// output directions, replicates the packet where needed, and completes
+// the input handshake only after all selected outputs fire (C-element
+// joining). Serial mode instead expands a multicast into XY unicasts —
+// the same serial-vs-tree comparison the paper runs on the MoT.
+//
+// Deadlock freedom mirrors the MoT argument (DESIGN.md): XY ordering
+// makes channel dependencies acyclic, output locks are acquired
+// all-or-nothing at the header, and virtual-cut-through reservation
+// guarantees a committed packet never stalls mid-packet at a
+// replication point.
+package mesh
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/metrics"
+	"asyncnoc/internal/node"
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/power"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/timing"
+)
+
+// Router port indices.
+const (
+	North = iota
+	East
+	South
+	West
+	LocalPort
+	numPorts
+)
+
+// Spec describes one mesh network instance.
+type Spec struct {
+	// Name is the reporting name.
+	Name string
+	// W, H are the mesh dimensions; terminals are the W*H tiles.
+	W, H int
+	// PacketLen is flits per packet.
+	PacketLen int
+	// Serial expands multicast into serial XY unicasts (the baseline
+	// scheme); otherwise multicast is tree-based with replication.
+	Serial bool
+}
+
+// Validate checks the configuration.
+func (s Spec) Validate() error {
+	if s.W < 2 || s.H < 1 || s.W*s.H > 64 {
+		return fmt.Errorf("mesh %s: dimensions %dx%d unsupported (2..64 tiles)", s.Name, s.W, s.H)
+	}
+	if s.PacketLen < 1 {
+		return fmt.Errorf("mesh %s: packet length %d < 1", s.Name, s.PacketLen)
+	}
+	return nil
+}
+
+// Tiles returns the terminal count.
+func (s Spec) Tiles() int { return s.W * s.H }
+
+// Mesh is one simulated mesh instance.
+type Mesh struct {
+	Spec  Spec
+	Sched *sim.Scheduler
+	Rec   *metrics.Recorder
+	Meter *power.Meter
+
+	routers []*Router // index y*W + x
+	sources []*sourceNI
+	sinks   []*sinkNI
+	nextID  uint64
+}
+
+// New builds a mesh network.
+func New(spec Spec) (*Mesh, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler()
+	m := &Mesh{
+		Spec:  spec,
+		Sched: sched,
+		Rec:   metrics.NewRecorder(),
+		Meter: power.NewMeter(sched.Now),
+	}
+	m.build()
+	return m, nil
+}
+
+// Coord maps a terminal index to tile coordinates.
+func (m *Mesh) Coord(d int) (x, y int) { return d % m.Spec.W, d / m.Spec.W }
+
+// Tile maps coordinates to the terminal index.
+func (m *Mesh) Tile(x, y int) int { return y*m.Spec.W + x }
+
+// routeOuts partitions a branch destination set over the output ports of
+// the router at (x, y) under XY dimension-order routing, returning the
+// port bitmask and the pruned per-port subsets.
+func (m *Mesh) routeOuts(x, y int, dests packet.DestSet) (mask uint8, sub [numPorts]packet.DestSet) {
+	for _, d := range dests.Members() {
+		dx, dy := m.Coord(d)
+		var p int
+		switch {
+		case dx > x:
+			p = East
+		case dx < x:
+			p = West
+		case dy > y:
+			p = North
+		case dy < y:
+			p = South
+		default:
+			p = LocalPort
+		}
+		mask |= 1 << uint(p)
+		sub[p] = sub[p].Add(d)
+	}
+	return mask, sub
+}
+
+// channel wires one link.
+func (m *Mesh) channel(dst node.Sink, dstPort int, src node.AckTarget, srcPort int) *node.Channel {
+	ch := &node.Channel{
+		Sched:    m.Sched,
+		FwdDelay: timing.ChannelFwd,
+		AckDelay: timing.ChannelAck,
+		Dst:      dst,
+		DstPort:  dstPort,
+		Src:      src,
+		SrcPort:  srcPort,
+	}
+	ch.OnTraverse = func(packet.Flit) { m.Meter.Channel() }
+	return ch
+}
+
+func (m *Mesh) build() {
+	w, h := m.Spec.W, m.Spec.H
+	tiles := m.Spec.Tiles()
+	fifoCap := 2 * m.Spec.PacketLen
+	if m.Spec.Serial {
+		fifoCap = m.Spec.PacketLen // unicast worms still need VCT headroom
+	}
+	m.routers = make([]*Router, tiles)
+	m.sources = make([]*sourceNI, tiles)
+	m.sinks = make([]*sinkNI, tiles)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m.routers[m.Tile(x, y)] = newRouter(m, x, y, fifoCap)
+		}
+	}
+	// Inter-router links (bidirectional pairs on each mesh edge).
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := m.routers[m.Tile(x, y)]
+			if x+1 < w {
+				e := m.routers[m.Tile(x+1, y)]
+				ch := m.channel(e, West, r, East)
+				r.connectOut(East, ch)
+				e.connectIn(West, ch)
+				back := m.channel(r, East, e, West)
+				e.connectOut(West, back)
+				r.connectIn(East, back)
+			}
+			if y+1 < h {
+				n := m.routers[m.Tile(x, y+1)]
+				ch := m.channel(n, South, r, North)
+				r.connectOut(North, ch)
+				n.connectIn(South, ch)
+				back := m.channel(r, North, n, South)
+				n.connectOut(South, back)
+				r.connectIn(North, back)
+			}
+		}
+	}
+	// Local ports: source and sink interfaces per tile.
+	for t := 0; t < tiles; t++ {
+		src := &sourceNI{mesh: m, tile: t}
+		in := m.channel(m.routers[t], LocalPort, src, 0)
+		src.out = in
+		m.routers[t].connectIn(LocalPort, in)
+		m.sources[t] = src
+
+		snk := &sinkNI{mesh: m, tile: t}
+		out := m.channel(snk, 0, m.routers[t], LocalPort)
+		m.routers[t].connectOut(LocalPort, out)
+		snk.in = out
+		m.sinks[t] = snk
+	}
+}
+
+// Inject creates a logical packet from tile src to dests at the current
+// simulation time.
+func (m *Mesh) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
+	if src < 0 || src >= m.Spec.Tiles() {
+		return nil, fmt.Errorf("mesh %s: source %d out of range", m.Spec.Name, src)
+	}
+	if dests.Empty() {
+		return nil, fmt.Errorf("mesh %s: empty destination set", m.Spec.Name)
+	}
+	if extra := dests &^ packet.Range(0, m.Spec.Tiles()); !extra.Empty() {
+		return nil, fmt.Errorf("mesh %s: destinations %v out of range", m.Spec.Name, extra)
+	}
+	now := m.Sched.Now()
+	m.nextID++
+	p := &packet.Packet{
+		ID: m.nextID, Src: src, Dests: dests,
+		Length: m.Spec.PacketLen, CreatedAt: int64(now),
+	}
+	m.Rec.PacketCreated(p, now)
+	if m.Spec.Serial && dests.Count() > 1 {
+		for _, d := range dests.Members() {
+			m.nextID++
+			clone := &packet.Packet{
+				ID: m.nextID, Src: src, Dests: packet.Dest(d),
+				Length: m.Spec.PacketLen, Parent: p, CreatedAt: int64(now),
+			}
+			m.sources[src].enqueue(clone)
+		}
+		return p, nil
+	}
+	m.sources[src].enqueue(p)
+	return p, nil
+}
+
+// SourceQueueLen returns one tile's injection backlog in flits.
+func (m *Mesh) SourceQueueLen(t int) int { return len(m.sources[t].queue) }
+
+// Router exposes one router (tests and diagnostics).
+func (m *Mesh) Router(t int) *Router { return m.routers[t] }
+
+// sourceNI drains an injection queue through the router's local port.
+type sourceNI struct {
+	mesh  *Mesh
+	tile  int
+	out   *node.Channel
+	queue []packet.Flit
+	busy  bool
+}
+
+func (ni *sourceNI) enqueue(p *packet.Packet) {
+	ni.queue = append(ni.queue, p.Flits()...)
+	ni.pump()
+}
+
+func (ni *sourceNI) pump() {
+	if ni.busy || len(ni.queue) == 0 {
+		return
+	}
+	f := ni.queue[0]
+	ni.queue = ni.queue[1:]
+	ni.busy = true
+	ni.mesh.Meter.Interface()
+	ni.out.Send(f)
+}
+
+// OnAck implements node.AckTarget.
+func (ni *sourceNI) OnAck(int) {
+	ni.mesh.Sched.After(timing.NICycle, func() {
+		ni.busy = false
+		ni.pump()
+	})
+}
+
+// sinkNI consumes delivered flits.
+type sinkNI struct {
+	mesh *Mesh
+	tile int
+	in   *node.Channel
+}
+
+// OnFlit implements node.Sink.
+func (ni *sinkNI) OnFlit(_ int, f packet.Flit) {
+	now := ni.mesh.Sched.Now()
+	ni.mesh.Rec.FlitDelivered(now)
+	ni.mesh.Meter.Interface()
+	if f.IsHeader() {
+		ni.mesh.Rec.HeaderArrived(f.Pkt, ni.tile, now)
+	}
+	ni.mesh.Sched.After(timing.SinkAck, ni.in.Ack)
+}

@@ -1,0 +1,203 @@
+package mesh
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/netlist"
+	"asyncnoc/internal/node"
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/timing"
+)
+
+// Router is one asynchronous five-port mesh router. Timing and area come
+// from the gate-level model (netlist.BuildMeshRouter): headers pay the
+// route-compute + arbitration + crossbar path, body flits ride the held
+// grant on the fast path, and the input handshake completes through a
+// C-element over every selected output.
+//
+// Concurrency structure: each input port holds at most one
+// unacknowledged flit; each output port carries a FIFO with
+// virtual-cut-through reservation and a wormhole lock owned by one input
+// from header to tail. Header commits acquire all needed output locks
+// atomically (all-or-nothing), which, with XY dimension-order routing,
+// keeps the channel dependency graph acyclic.
+type Router struct {
+	mesh  *Mesh
+	sched *sim.Scheduler
+	t     timing.Node
+	X, Y  int
+
+	in  [numPorts]*node.Channel
+	out [numPorts]*node.Channel
+	cap int
+
+	fifo     [numPorts][]packet.Flit
+	outBusy  [numPorts]bool
+	outOwner [numPorts]int // input index owning the output, -1 free
+
+	inCur    [numPorts]packet.Flit
+	inHas    [numPorts]bool
+	inReady  [numPorts]bool // forward path elapsed, awaiting commit
+	inOuts   [numPorts]uint8
+	inSub    [numPorts][numPorts]packet.DestSet
+	stored   [numPorts]uint8
+	storedSb [numPorts][numPorts]packet.DestSet
+
+	nextAllowed [numPorts]sim.Time
+	retryArmed  [numPorts]bool
+}
+
+func newRouter(m *Mesh, x, y, fifoCap int) *Router {
+	r := &Router{
+		mesh:  m,
+		sched: m.Sched,
+		t:     timing.MustByName(netlist.MeshRouter),
+		X:     x,
+		Y:     y,
+		cap:   fifoCap,
+	}
+	for p := range r.outOwner {
+		r.outOwner[p] = -1
+	}
+	return r
+}
+
+// Timing returns the router's derived parameters.
+func (r *Router) Timing() timing.Node { return r.t }
+
+func (r *Router) connectIn(p int, ch *node.Channel)  { r.in[p] = ch }
+func (r *Router) connectOut(p int, ch *node.Channel) { r.out[p] = ch }
+
+// OnFlit implements node.Sink.
+func (r *Router) OnFlit(port int, f packet.Flit) {
+	if r.inHas[port] {
+		panic(fmt.Sprintf("mesh router (%d,%d): flit %v on port %d while %v unacknowledged",
+			r.X, r.Y, f, port, r.inCur[port]))
+	}
+	r.inCur[port] = f
+	r.inHas[port] = true
+	r.inReady[port] = false
+	fwd := r.t.FwdBody
+	if f.IsHeader() {
+		fwd = r.t.FwdHeader
+		mask, sub := r.mesh.routeOuts(r.X, r.Y, f.BranchDests())
+		r.inOuts[port] = mask
+		r.inSub[port] = sub
+		r.stored[port] = mask
+		r.storedSb[port] = sub
+	} else {
+		r.inOuts[port] = r.stored[port]
+		r.inSub[port] = r.storedSb[port]
+	}
+	r.sched.After(fwd, func() {
+		r.inReady[port] = true
+		r.tryCommit(port)
+	})
+}
+
+// tryCommit attempts to move input port i's flit into every selected
+// output FIFO, honoring the minimum handshake cycle, wormhole locks, and
+// virtual-cut-through space reservation.
+func (r *Router) tryCommit(i int) {
+	if !r.inHas[i] || !r.inReady[i] {
+		return
+	}
+	if now := r.sched.Now(); now < r.nextAllowed[i] {
+		if !r.retryArmed[i] {
+			r.retryArmed[i] = true
+			r.sched.After(r.nextAllowed[i]-now, func() {
+				r.retryArmed[i] = false
+				r.tryCommit(i)
+			})
+		}
+		return
+	}
+	f := r.inCur[i]
+	outs := r.inOuts[i]
+	space := 1
+	if f.IsHeader() {
+		space = f.Pkt.Length
+		if space > r.cap {
+			space = r.cap
+		}
+	}
+	// All-or-nothing feasibility check over every selected output.
+	for o := 0; o < numPorts; o++ {
+		if outs&(1<<uint(o)) == 0 {
+			continue
+		}
+		if r.outOwner[o] != -1 && r.outOwner[o] != i {
+			return // locked by another worm; retried on release
+		}
+		if f.IsHeader() && r.outOwner[o] != i && r.cap-len(r.fifo[o]) < space {
+			return
+		}
+		if r.cap-len(r.fifo[o]) < 1 {
+			return
+		}
+	}
+	// Commit: acquire locks, enqueue pruned copies, pump.
+	ports := 0
+	for o := 0; o < numPorts; o++ {
+		if outs&(1<<uint(o)) == 0 {
+			continue
+		}
+		r.outOwner[o] = i
+		branch := f
+		branch.Branch = r.inSub[i][o]
+		r.fifo[o] = append(r.fifo[o], branch)
+		ports++
+	}
+	r.mesh.Meter.NodeForward(r.t.AreaUm2, ports)
+	if f.IsTail() {
+		for o := 0; o < numPorts; o++ {
+			if outs&(1<<uint(o)) != 0 {
+				r.outOwner[o] = -1
+			}
+		}
+	}
+	cycle := r.t.FwdBody
+	if f.IsHeader() {
+		cycle = r.t.FwdHeader
+	}
+	r.nextAllowed[i] = r.sched.Now() + cycle + r.t.AckDelay
+	r.inHas[i] = false
+	in := r.in[i]
+	r.sched.After(r.t.AckDelay, func() { in.Ack() })
+	for o := 0; o < numPorts; o++ {
+		if outs&(1<<uint(o)) != 0 {
+			r.pump(o)
+		}
+	}
+	// A released lock may unblock other inputs.
+	if f.IsTail() {
+		r.retryAll()
+	}
+}
+
+// pump drives one output FIFO head onto the wire.
+func (r *Router) pump(o int) {
+	if r.outBusy[o] || len(r.fifo[o]) == 0 {
+		return
+	}
+	f := r.fifo[o][0]
+	r.fifo[o] = r.fifo[o][1:]
+	r.outBusy[o] = true
+	r.out[o].Send(f)
+}
+
+// OnAck implements node.AckTarget.
+func (r *Router) OnAck(o int) {
+	r.outBusy[o] = false
+	r.pump(o)
+	r.retryAll()
+}
+
+func (r *Router) retryAll() {
+	for i := 0; i < numPorts; i++ {
+		if r.inHas[i] && r.inReady[i] {
+			r.tryCommit(i)
+		}
+	}
+}

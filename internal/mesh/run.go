@@ -1,0 +1,77 @@
+package mesh
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/core"
+	"asyncnoc/internal/rng"
+	"asyncnoc/internal/sim"
+)
+
+// Run executes one mesh simulation under the same configuration contract
+// as the MoT harness (core.RunConfig): open-loop Poisson injection at
+// every tile, warmup/measurement/drain windows, and the same RunResult.
+// The benchmark's destination space must equal the tile count.
+func Run(spec Spec, cfg core.RunConfig) (core.RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return core.RunResult{}, err
+	}
+	m, err := New(spec)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	windowEnd := cfg.Warmup + cfg.Measure
+	m.Rec.SetWindow(cfg.Warmup, windowEnd)
+	m.Meter.SetWindow(cfg.Warmup, windowEnd)
+	injectUntil := windowEnd + cfg.Drain
+	meanGapPs := float64(spec.PacketLen) / cfg.LoadGFs * 1000
+	root := rng.New(cfg.Seed)
+	for t := 0; t < spec.Tiles(); t++ {
+		t := t
+		r := root.Split()
+		var arm func()
+		arm = func() {
+			if m.Sched.Now() >= injectUntil {
+				return
+			}
+			if _, err := m.Inject(t, cfg.Bench.NextDests(t, r)); err != nil {
+				panic(fmt.Sprintf("mesh: benchmark produced invalid destinations: %v", err))
+			}
+			m.Sched.After(gap(r, meanGapPs), arm)
+		}
+		m.Sched.Schedule(gap(r, meanGapPs), arm)
+	}
+	m.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+
+	res := core.RunResult{
+		Network:         spec.Name,
+		Benchmark:       cfg.Bench.Name(),
+		LoadGFs:         cfg.LoadGFs,
+		ThroughputGFs:   m.Rec.ThroughputGFs(spec.Tiles()),
+		PowerMW:         m.Meter.PowerMW(),
+		Completion:      m.Rec.CompletionRate(),
+		MeasuredPackets: m.Rec.MeasuredCreated(),
+	}
+	res.AvgLatencyNs, _ = m.Rec.AvgLatencyNs()
+	res.P95LatencyNs, _ = m.Rec.P95LatencyNs()
+	return res, nil
+}
+
+// gap draws an exponential inter-arrival of at least 1 ps.
+func gap(r *rng.Source, meanPs float64) sim.Time {
+	g := sim.Time(r.Exp(meanPs))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Saturation searches for the mesh's saturation throughput under the
+// same criterion as the MoT harness.
+func Saturation(spec Spec, cfg core.SatConfig) (core.SatResult, error) {
+	return core.SaturationWith(spec.Name, cfg, func(load float64) (core.RunResult, error) {
+		c := cfg.Base
+		c.LoadGFs = load
+		return Run(spec, c)
+	})
+}

@@ -1,0 +1,154 @@
+// Package metrics implements the measurement methodology of Section 5.1:
+// long warmup and measurement phases, per-packet network latency measured
+// from injection up to the arrival of ALL headers at their destinations,
+// and accepted throughput counted as flit deliveries at the destination
+// interfaces.
+package metrics
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/stats"
+)
+
+// pktStat tracks one logical packet's delivery progress.
+type pktStat struct {
+	p        *packet.Packet
+	arrived  packet.DestSet
+	measured bool
+	done     bool
+}
+
+// Recorder accumulates the measurements of one simulation run.
+//
+// Only packets created inside the measurement window [WindowStart,
+// WindowEnd) contribute latency samples and completion accounting; flit
+// deliveries are likewise counted only when they land inside the window.
+type Recorder struct {
+	WindowStart, WindowEnd sim.Time
+
+	pkts        map[uint64]*pktStat
+	latenciesNs []float64
+
+	deliveredFlits  int64
+	measuredCreated int
+	measuredDone    int
+}
+
+// NewRecorder returns a Recorder with an open-ended window; call
+// SetWindow before the measurement phase.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		WindowEnd: sim.Never,
+		pkts:      make(map[uint64]*pktStat),
+	}
+}
+
+// SetWindow fixes the measurement window.
+func (r *Recorder) SetWindow(start, end sim.Time) {
+	r.WindowStart, r.WindowEnd = start, end
+}
+
+func (r *Recorder) inWindow(t sim.Time) bool {
+	return t >= r.WindowStart && t < r.WindowEnd
+}
+
+// PacketCreated registers a logical packet at its creation time. Serial
+// multicast clones must NOT be registered — only their parent.
+func (r *Recorder) PacketCreated(p *packet.Packet, now sim.Time) {
+	if _, dup := r.pkts[p.ID]; dup {
+		panic(fmt.Sprintf("metrics: packet %d registered twice", p.ID))
+	}
+	st := &pktStat{p: p, measured: r.inWindow(now)}
+	r.pkts[p.ID] = st
+	if st.measured {
+		r.measuredCreated++
+	}
+}
+
+// HeaderArrived records the arrival of a header flit of packet p (or of a
+// serial clone of p) at destination dest. Duplicate deliveries indicate a
+// throttling failure and panic.
+func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
+	logical := p
+	if p.Parent != nil {
+		logical = p.Parent
+	}
+	st, ok := r.pkts[logical.ID]
+	if !ok {
+		panic(fmt.Sprintf("metrics: header of unregistered packet %d", logical.ID))
+	}
+	if st.arrived.Has(dest) {
+		panic(fmt.Sprintf("metrics: duplicate header delivery of packet %d to dest %d", logical.ID, dest))
+	}
+	if !logical.Dests.Has(dest) {
+		panic(fmt.Sprintf("metrics: packet %d delivered to non-destination %d (dests %v)",
+			logical.ID, dest, logical.Dests))
+	}
+	st.arrived = st.arrived.Add(dest)
+	if st.arrived == logical.Dests && !st.done {
+		st.done = true
+		if st.measured {
+			r.measuredDone++
+			r.latenciesNs = append(r.latenciesNs, sim.Time(int64(now)-logical.CreatedAt).Nanoseconds())
+		}
+		// Completed packets no longer need tracking.
+		delete(r.pkts, logical.ID)
+	}
+}
+
+// FlitDelivered counts one flit landing at a destination interface.
+func (r *Recorder) FlitDelivered(now sim.Time) {
+	if r.inWindow(now) {
+		r.deliveredFlits++
+	}
+}
+
+// AvgLatencyNs returns the mean network latency of completed measured
+// packets, and false when no packet completed.
+func (r *Recorder) AvgLatencyNs() (float64, bool) {
+	if len(r.latenciesNs) == 0 {
+		return 0, false
+	}
+	return stats.Mean(r.latenciesNs), true
+}
+
+// P95LatencyNs returns the 95th-percentile latency of measured packets.
+func (r *Recorder) P95LatencyNs() (float64, bool) {
+	if len(r.latenciesNs) == 0 {
+		return 0, false
+	}
+	return stats.Percentile(r.latenciesNs, 95), true
+}
+
+// LatenciesNs exposes the raw samples (for tests and histograms).
+func (r *Recorder) LatenciesNs() []float64 { return r.latenciesNs }
+
+// ThroughputGFs returns the accepted throughput in gigaflits per second
+// per source: flit deliveries inside the window divided by window length
+// and source count.
+func (r *Recorder) ThroughputGFs(sources int) float64 {
+	window := r.WindowEnd - r.WindowStart
+	if window <= 0 || sources <= 0 {
+		return 0
+	}
+	return float64(r.deliveredFlits) / window.Nanoseconds() / float64(sources)
+}
+
+// MeasuredCreated returns how many logical packets were injected inside
+// the measurement window.
+func (r *Recorder) MeasuredCreated() int { return r.measuredCreated }
+
+// MeasuredCompleted returns how many of them have fully completed.
+func (r *Recorder) MeasuredCompleted() int { return r.measuredDone }
+
+// CompletionRate returns the fraction of measured packets that completed
+// (1 when nothing was measured — an idle network is not congested).
+func (r *Recorder) CompletionRate() float64 {
+	if r.measuredCreated == 0 {
+		return 1
+	}
+	return float64(r.measuredDone) / float64(r.measuredCreated)
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"testing"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/sim"
+)
+
+func mkPkt(id uint64, dests packet.DestSet, created sim.Time) *packet.Packet {
+	return &packet.Packet{ID: id, Dests: dests, Length: 5, CreatedAt: int64(created)}
+}
+
+func TestLatencyMeasuredToLastHeader(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(0, 1000)
+	p := mkPkt(1, packet.Dests(2, 5), 100)
+	r.PacketCreated(p, 100)
+	r.HeaderArrived(p, 2, 400)
+	if _, ok := r.AvgLatencyNs(); ok {
+		t.Fatal("latency reported before all headers arrived")
+	}
+	r.HeaderArrived(p, 5, 700)
+	lat, ok := r.AvgLatencyNs()
+	if !ok || lat != 0.6 {
+		t.Errorf("latency = %v ns, want 0.6 (100ps -> 700ps)", lat)
+	}
+	if r.MeasuredCompleted() != 1 || r.MeasuredCreated() != 1 {
+		t.Error("completion accounting wrong")
+	}
+}
+
+func TestSerialClonesResolveToParent(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(0, 1000)
+	parent := mkPkt(1, packet.Dests(0, 3), 50)
+	r.PacketCreated(parent, 50)
+	clone0 := &packet.Packet{ID: 2, Dests: packet.Dest(0), Parent: parent}
+	clone3 := &packet.Packet{ID: 3, Dests: packet.Dest(3), Parent: parent}
+	r.HeaderArrived(clone0, 0, 300)
+	r.HeaderArrived(clone3, 3, 850)
+	lat, ok := r.AvgLatencyNs()
+	if !ok || lat != 0.8 {
+		t.Errorf("latency = %v ns, want 0.8 (serial completion at last clone)", lat)
+	}
+}
+
+func TestPacketsOutsideWindowNotMeasured(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 200)
+	early := mkPkt(1, packet.Dest(0), 50)
+	late := mkPkt(2, packet.Dest(1), 250)
+	in := mkPkt(3, packet.Dest(2), 150)
+	r.PacketCreated(early, 50)
+	r.PacketCreated(late, 250)
+	r.PacketCreated(in, 150)
+	r.HeaderArrived(early, 0, 60)
+	r.HeaderArrived(late, 1, 260)
+	r.HeaderArrived(in, 2, 190)
+	if r.MeasuredCreated() != 1 || r.MeasuredCompleted() != 1 {
+		t.Errorf("measured %d/%d, want 1/1", r.MeasuredCompleted(), r.MeasuredCreated())
+	}
+	if len(r.LatenciesNs()) != 1 {
+		t.Errorf("latency samples %d, want 1", len(r.LatenciesNs()))
+	}
+}
+
+func TestThroughputCountsWindowOnly(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 1100) // 1 ns window
+	r.FlitDelivered(50)    // before
+	for i := 0; i < 8; i++ {
+		r.FlitDelivered(sim.Time(200 + i))
+	}
+	r.FlitDelivered(1100) // at end boundary: excluded
+	if got := r.ThroughputGFs(4); got != 2.0 {
+		t.Errorf("throughput = %v GF/s per source, want 2.0", got)
+	}
+}
+
+func TestThroughputDegenerate(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 100)
+	if r.ThroughputGFs(4) != 0 {
+		t.Error("zero window should yield 0")
+	}
+	r.SetWindow(0, 100)
+	if r.ThroughputGFs(0) != 0 {
+		t.Error("zero sources should yield 0")
+	}
+}
+
+func TestCompletionRate(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(0, 1000)
+	if r.CompletionRate() != 1 {
+		t.Error("empty recorder completion != 1")
+	}
+	a := mkPkt(1, packet.Dest(0), 10)
+	b := mkPkt(2, packet.Dest(1), 20)
+	r.PacketCreated(a, 10)
+	r.PacketCreated(b, 20)
+	r.HeaderArrived(a, 0, 500)
+	if r.CompletionRate() != 0.5 {
+		t.Errorf("completion = %v, want 0.5", r.CompletionRate())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRecorder()
+	p := mkPkt(1, packet.Dest(0), 0)
+	r.PacketCreated(p, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.PacketCreated(p, 0)
+}
+
+func TestDuplicateDeliveryPanics(t *testing.T) {
+	r := NewRecorder()
+	p := mkPkt(1, packet.Dests(0, 1), 0)
+	r.PacketCreated(p, 0)
+	r.HeaderArrived(p, 0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate delivery did not panic (throttling failure)")
+		}
+	}()
+	r.HeaderArrived(p, 0, 20)
+}
+
+func TestMisdeliveryPanics(t *testing.T) {
+	r := NewRecorder()
+	p := mkPkt(1, packet.Dest(0), 0)
+	r.PacketCreated(p, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery to non-destination did not panic")
+		}
+	}()
+	r.HeaderArrived(p, 5, 10)
+}
+
+func TestUnregisteredDeliveryPanics(t *testing.T) {
+	r := NewRecorder()
+	defer func() {
+		if recover() == nil {
+			t.Error("unregistered delivery did not panic")
+		}
+	}()
+	r.HeaderArrived(mkPkt(9, packet.Dest(0), 0), 0, 10)
+}
+
+func TestP95(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(0, sim.Never)
+	for i := 1; i <= 100; i++ {
+		p := mkPkt(uint64(i), packet.Dest(0), 0)
+		r.PacketCreated(p, 0)
+		r.HeaderArrived(p, 0, sim.Time(i*1000))
+	}
+	p95, ok := r.P95LatencyNs()
+	if !ok || p95 < 95 || p95 > 96 {
+		t.Errorf("P95 = %v, want ~95", p95)
+	}
+}

@@ -1,0 +1,60 @@
+package netlist
+
+import "strings"
+
+// Activity factors of the switching-energy analysis: control cells switch
+// on (almost) every handshake, datapath bit-slices switch with the usual
+// random-data activity.
+const (
+	controlActivity  = 1.0
+	datapathActivity = 0.5
+)
+
+// isDatapath classifies an instance as a datapath bit-slice by the naming
+// convention of the builders (latch banks, data buffers, crossbar muxes,
+// bit gates).
+func isDatapath(inst *Instance) bool {
+	for _, marker := range []string{
+		"_latch", "din_buf", "din0_buf", "din1_buf", "_dout_drv",
+		"out_latch", "_bit_gate", "xbar", "dest_latch",
+	} {
+		if strings.Contains(inst.Name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// SwitchingEnergyPJ estimates the switching energy of one full flit
+// traversal of the node in picojoules: every control cell toggles once,
+// every datapath bit-slice toggles with 50% data activity. This is the
+// static counterpart of the paper's activity-annotated PrimeTime step and
+// corroborates the area-proportional energy proxy the network power
+// model uses (their per-node ratios agree within a few percent; see
+// TestEnergyTracksAreaProxy).
+func (nl *Netlist) SwitchingEnergyPJ() float64 {
+	var fj float64
+	for _, inst := range nl.instances {
+		activity := controlActivity
+		if isDatapath(inst) {
+			activity = datapathActivity
+		}
+		fj += inst.Type.EnergyFJ * activity
+	}
+	return fj / 1000
+}
+
+// DatapathFraction returns the share of instances classified as datapath
+// bit-slices (diagnostics for the activity model).
+func (nl *Netlist) DatapathFraction() float64 {
+	if len(nl.instances) == 0 {
+		return 0
+	}
+	n := 0
+	for _, inst := range nl.instances {
+		if isDatapath(inst) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(nl.instances))
+}

@@ -1,0 +1,83 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LintIssue is one structural finding in a netlist.
+type LintIssue struct {
+	// Kind is the finding class: "unused-input" or "cycle".
+	Kind string
+	// Net is the offending net name.
+	Net string
+}
+
+// String renders the issue.
+func (i LintIssue) String() string { return i.Kind + ": " + i.Net }
+
+// Lint performs the structural checks that must hold for the analyses to
+// be meaningful:
+//
+//   - cycle: a combinational loop (sequential loops must be folded into
+//     composite cells or CriticalPath is undefined);
+//   - unused-input: a primary input that drives nothing. Exactly one is
+//     legitimate by design — the speculative fanout node ignores addrIn,
+//     which is the paper's point (speculative switches need no
+//     addressing) — plus the mesh router's per-port ack pins whose flow
+//     control is folded into state inputs. TestLintInvariants pins the
+//     exact allowance.
+//
+// Dangling cell outputs are NOT errors here: the node netlists model both
+// the timing-relevant control paths (fully connected, verified by the
+// CriticalPath tests) and area-only structure (datapath banks, matched
+// delay, reset fabric) whose outputs would terminate in module pins of
+// the full design. FloatingOutputs reports their count for diagnostics.
+func (nl *Netlist) Lint() []LintIssue {
+	var issues []LintIssue
+	for _, in := range nl.inputs {
+		if len(in.loads) == 0 {
+			issues = append(issues, LintIssue{Kind: "unused-input", Net: in.Name})
+		}
+	}
+	if _, err := nl.topoOrder(); err != nil {
+		issues = append(issues, LintIssue{Kind: "cycle", Net: nl.Name})
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].Kind != issues[j].Kind {
+			return issues[i].Kind < issues[j].Kind
+		}
+		return issues[i].Net < issues[j].Net
+	})
+	return issues
+}
+
+// FloatingOutputs counts cell outputs that drive no load and are not
+// module outputs — the area-modeling share of the netlist.
+func (nl *Netlist) FloatingOutputs() int {
+	outputSet := map[*Net]bool{}
+	for _, o := range nl.outputs {
+		outputSet[o] = true
+	}
+	n := 0
+	for _, inst := range nl.instances {
+		if len(inst.out.loads) == 0 && !outputSet[inst.out] {
+			n++
+		}
+	}
+	return n
+}
+
+// LintSummary formats the issues one per line (empty string when clean).
+func (nl *Netlist) LintSummary() string {
+	issues := nl.Lint()
+	if len(issues) == 0 {
+		return ""
+	}
+	lines := make([]string, len(issues))
+	for i, iss := range issues {
+		lines[i] = iss.String()
+	}
+	return fmt.Sprintf("%s: %d issues\n  %s", nl.Name, len(issues), strings.Join(lines, "\n  "))
+}

@@ -1,0 +1,136 @@
+package netlist
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/cell"
+)
+
+// MeshRouter is the netlist name of the asynchronous 5-port mesh router.
+const MeshRouter = "mesh-router"
+
+// BuildMeshRouter constructs a gate-level model of an asynchronous
+// five-port (north/east/south/west/local) mesh router with XY
+// dimension-order routing and tree-based multicast replication — the
+// "alternative topology" switch of the paper's future-work section,
+// built with the same cell library and analysis as the MoT nodes.
+//
+// Structure per the usual bundled-data router organization:
+//
+//   - five input channel monitors with address storage (destination
+//     bitmask routing needs wider storage than the MoT's source routes);
+//   - per-input XY route comparators;
+//   - a 5x5 crossbar as per-bit 4:1 mux trees on every output;
+//   - per-output mutual-exclusion arbitration (three mutexes in a tree);
+//   - normally-opaque output latch banks with channel drivers;
+//   - per-input acknowledge joining (C-element tree: a replicated flit
+//     completes only after every selected output fired).
+//
+// Marked paths: reqIn->reqOut0 is the header forward path (route compute
+// + arbitration + crossbar), reqIn->reqOutFast the body fast path
+// through the held grant, reqIn->ackOut the acknowledge generation.
+func BuildMeshRouter() *Netlist {
+	b := newBuilder(MeshRouter)
+	const ports = 5
+
+	// --- Input stage (x5): monitor + destination-set storage. ---
+	// The analysis instruments input 0; the other four are replicated
+	// area-wise with the same structure.
+	fd := b.nl.Add(cell.Xor2, "in0_flitdet", b.reqIn, b.phase)
+	tg := b.nl.Add(cell.Toggle, "in0_toggle", fd)
+	al := b.bank(cell.LatchE, "in0_dest_latch", 16, b.addrIn, tg)
+	b.nl.Add(cell.And2, "in0_we", tg, b.state("in0State"))
+	for p := 1; p < ports; p++ {
+		pin := b.state(fmt.Sprintf("req%d", p))
+		f := b.nl.Add(cell.Xor2, fmt.Sprintf("in%d_flitdet", p), pin, b.phase)
+		t := b.nl.Add(cell.Toggle, fmt.Sprintf("in%d_toggle", p), f)
+		b.bank(cell.LatchE, fmt.Sprintf("in%d_dest_latch", p), 16, b.addrIn, t)
+		b.nl.Add(cell.And2, fmt.Sprintf("in%d_we", p), t, b.state(fmt.Sprintf("in%dState", p)))
+	}
+
+	// --- XY route computation (x5): two coordinate comparators. ---
+	cx := b.nl.Add(cell.And2, "in0_cmp_x", al, b.state("xState"))
+	cx2 := b.nl.Add(cell.Nand2, "in0_cmp_x2", cx, b.state("xState2"))
+	cy := b.nl.Add(cell.And2, "in0_cmp_y", cx2, b.state("yState"))
+	rc := b.nl.Add(cell.Nand2, "in0_cmp_y2", cy, b.state("yState2"))
+	for p := 1; p < ports; p++ {
+		a := b.nl.Add(cell.And2, fmt.Sprintf("in%d_cmp_x", p), al, b.state("xState"))
+		a = b.nl.Add(cell.Nand2, fmt.Sprintf("in%d_cmp_x2", p), a, b.state("xState2"))
+		a = b.nl.Add(cell.And2, fmt.Sprintf("in%d_cmp_y", p), a, b.state("yState"))
+		b.nl.Add(cell.Nand2, fmt.Sprintf("in%d_cmp_y2", p), a, b.state("yState2"))
+	}
+
+	// --- Output arbitration (x5): mutex tree over four requesters. ---
+	m1 := b.nl.Add(cell.Mutex, "out0_mutex_a", rc, b.state("o0reqB"))
+	b.nl.Add(cell.Mutex, "out0_mutex_b", rc, b.state("o0reqC"))
+	mg := b.nl.Add(cell.Mutex, "out0_mutex_f", m1, b.state("o0reqD"))
+	grant := b.nl.Add(cell.And2, "out0_grant", mg, b.state("o0lock"))
+	for p := 1; p < ports; p++ {
+		x1 := b.nl.Add(cell.Mutex, fmt.Sprintf("out%d_mutex_a", p), rc, b.state(fmt.Sprintf("o%dreqB", p)))
+		b.nl.Add(cell.Mutex, fmt.Sprintf("out%d_mutex_b", p), rc, b.state(fmt.Sprintf("o%dreqC", p)))
+		xg := b.nl.Add(cell.Mutex, fmt.Sprintf("out%d_mutex_f", p), x1, b.state(fmt.Sprintf("o%dreqD", p)))
+		b.nl.Add(cell.And2, fmt.Sprintf("out%d_grant", p), xg, b.state(fmt.Sprintf("o%dlock", p)))
+	}
+
+	// --- Crossbar: per output, a 4:1 per-bit mux tree (3 MUX2/bit). ---
+	var xbarOut *Net
+	for p := 0; p < ports; p++ {
+		sel := b.state(fmt.Sprintf("xbar%d_sel", p))
+		m1 := b.bank(cell.Mux2, fmt.Sprintf("xbar%d_l1a", p), FlitWidth, b.dataIn, b.dataIn, sel)
+		b.bank(cell.Mux2, fmt.Sprintf("xbar%d_l1b", p), FlitWidth, b.dataIn, b.dataIn, sel)
+		m3 := b.bank(cell.Mux2, fmt.Sprintf("xbar%d_l2", p), FlitWidth, m1, m1, sel)
+		if p == 0 {
+			xbarOut = m3
+		}
+	}
+
+	// --- Output stage (x5): latch bank + request toggle + drivers. ---
+	var reqOut *Net
+	for p := 0; p < ports; p++ {
+		en := b.bank(cell.Buf4, fmt.Sprintf("out%d_en_drv", p), 4, grant)
+		b.bank(cell.LatchE, fmt.Sprintf("out%d_latch", p), FlitWidth, xbarOut, en)
+		b.bank(cell.Buf4, fmt.Sprintf("out%d_dout_drv", p), FlitWidth/4, xbarOut)
+		var ro *Net
+		if p == 0 {
+			mx := b.nl.Add(cell.Mux2, "out0_xsel", grant, xbarOut, b.state("xbar0_hold"))
+			ro = b.nl.Add(cell.Toggle, "out0_req_toggle", mx)
+			ro = b.nl.Add(cell.Buf, "out0_req_drv", ro)
+			reqOut = ro
+		} else {
+			mx := b.nl.Add(cell.Mux2, fmt.Sprintf("out%d_xsel", p), grant, xbarOut, b.state(fmt.Sprintf("xbar%d_hold", p)))
+			ro = b.nl.Add(cell.Toggle, fmt.Sprintf("out%d_req_toggle", p), mx)
+			b.nl.Add(cell.Buf, fmt.Sprintf("out%d_req_drv", p), ro)
+		}
+	}
+	b.nl.Alias(NetReqOut0, reqOut)
+	b.nl.MarkOutput(reqOut)
+
+	// --- Body fast path: held grant bypasses route compute + arb. ---
+	xn := b.nl.Add(cell.Xnor2, "fast_det", b.reqIn, b.phase)
+	fa := b.nl.Add(cell.And2, "fast_hold", xn, b.state("holdState"))
+	fm := b.nl.Add(cell.Mux2, "fast_xbar", fa, fa, b.state("fastSel"))
+	ft := b.nl.Add(cell.Toggle, "fast_toggle", fm)
+	b.nl.Alias(NetReqOutFast, ft)
+	b.nl.MarkOutput(ft)
+
+	// --- Ack joining per input: C-element tree over selected outputs. ---
+	c1 := b.nl.Add(cell.C2, "ack_c_a", reqOut, b.state("ackSel1"))
+	c2 := b.nl.Add(cell.C2, "ack_c_b", c1, b.state("ackSel2"))
+	at := b.nl.Add(cell.Toggle, "ack_toggle", c2)
+	ack := b.nl.Add(cell.Buf4, "ack_drv", at)
+	b.nl.Alias(NetAckOut, ack)
+	b.nl.MarkOutput(ack)
+	for p := 1; p < ports; p++ {
+		x1 := b.nl.Add(cell.C2, fmt.Sprintf("ack%d_c_a", p), reqOut, b.state(fmt.Sprintf("ack%dSel1", p)))
+		x2 := b.nl.Add(cell.C2, fmt.Sprintf("ack%d_c_b", p), x1, b.state(fmt.Sprintf("ack%dSel2", p)))
+		b.nl.Add(cell.Toggle, fmt.Sprintf("ack%d_toggle", p), x2)
+		b.nl.Add(cell.Buf, fmt.Sprintf("ack%d_drv", p), x2)
+	}
+
+	// Flow-control comparators and reset distribution.
+	for p := 0; p < ports; p++ {
+		b.nl.Add(cell.Xnor2, fmt.Sprintf("flow%d_xnor", p), reqOut, b.state(fmt.Sprintf("flow%d", p)))
+	}
+	b.resetGlue(5)
+	return b.nl
+}

@@ -1,0 +1,270 @@
+// Package netlist builds and analyzes gate-level netlists of the six node
+// types evaluated in the paper (Section 4 and Section 5.2(a)): the
+// baseline fanout node, the four new fanout nodes, and the fanin node.
+//
+// A netlist is a DAG of cell instances connected by nets. Two static
+// analyses regenerate the paper's node-level results:
+//
+//   - Area: the sum of instance areas (pre-layout, as in the paper).
+//   - CriticalPath: the longest combinational delay between two named
+//     nets, used for the forward (request-in to request-out) latency of
+//     each node and for the secondary paths (acknowledge generation,
+//     throttling, body-flit fast-forwarding) that drive the behavioral
+//     simulation timing in internal/timing.
+//
+// Sequential loops of the real circuits (latch feedback, C-element state)
+// are folded into single composite cells, keeping the timing graph acyclic.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"asyncnoc/internal/cell"
+)
+
+// Net is a named signal. A net has at most one driver (nil for primary
+// inputs).
+type Net struct {
+	Name   string
+	driver *Instance
+	loads  []*Instance
+}
+
+// Instance is one placed cell.
+type Instance struct {
+	Type *cell.Type
+	Name string
+	ins  []*Net
+	out  *Net
+}
+
+// Netlist is a single node design under analysis.
+type Netlist struct {
+	Name      string
+	instances []*Instance
+	nets      map[string]*Net
+	inputs    []*Net
+	outputs   []*Net
+}
+
+// New returns an empty netlist.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, nets: make(map[string]*Net)}
+}
+
+// Input declares (or returns) a primary input net.
+func (nl *Netlist) Input(name string) *Net {
+	if n, ok := nl.nets[name]; ok {
+		return n
+	}
+	n := &Net{Name: name}
+	nl.nets[name] = n
+	nl.inputs = append(nl.inputs, n)
+	return n
+}
+
+// MarkOutput declares a net as a primary output.
+func (nl *Netlist) MarkOutput(n *Net) {
+	nl.outputs = append(nl.outputs, n)
+}
+
+// Net returns the named net, or nil.
+func (nl *Netlist) Net(name string) *Net { return nl.nets[name] }
+
+// Add places a cell instance driving a new net named after the instance.
+// It panics on arity mismatch or name collisions — netlist construction
+// errors are always programming bugs in the builders.
+func (nl *Netlist) Add(t *cell.Type, name string, ins ...*Net) *Net {
+	if len(ins) != t.Inputs {
+		panic(fmt.Sprintf("netlist %s: %s %q wired with %d inputs, needs %d",
+			nl.Name, t.Name, name, len(ins), t.Inputs))
+	}
+	outName := name + ".o"
+	if _, ok := nl.nets[outName]; ok {
+		panic(fmt.Sprintf("netlist %s: duplicate instance %q", nl.Name, name))
+	}
+	inst := &Instance{Type: t, Name: name, ins: ins}
+	out := &Net{Name: outName, driver: inst}
+	inst.out = out
+	nl.nets[outName] = out
+	for _, in := range ins {
+		in.loads = append(in.loads, inst)
+	}
+	nl.instances = append(nl.instances, inst)
+	return out
+}
+
+// Alias registers an additional name for an existing net, so analyses can
+// reference designed endpoints ("reqOut0") rather than instance names.
+func (nl *Netlist) Alias(name string, n *Net) {
+	if _, ok := nl.nets[name]; ok {
+		panic(fmt.Sprintf("netlist %s: duplicate alias %q", nl.Name, name))
+	}
+	nl.nets[name] = n
+}
+
+// CellCount returns the number of placed instances.
+func (nl *Netlist) CellCount() int { return len(nl.instances) }
+
+// Area returns the total placed area in square micrometres.
+func (nl *Netlist) Area() float64 {
+	var a float64
+	for _, inst := range nl.instances {
+		a += inst.Type.Area
+	}
+	return a
+}
+
+// CellHistogram returns instance counts per cell type name, sorted by name.
+func (nl *Netlist) CellHistogram() []struct {
+	Cell  string
+	Count int
+} {
+	counts := map[string]int{}
+	for _, inst := range nl.instances {
+		counts[inst.Type.Name]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Cell  string
+		Count int
+	}, len(names))
+	for i, n := range names {
+		out[i].Cell = n
+		out[i].Count = counts[n]
+	}
+	return out
+}
+
+// CriticalPath returns the longest combinational delay in picoseconds from
+// net `from` to net `to`, along with the instance names on that path.
+// It returns an error if either net is unknown or no path exists.
+func (nl *Netlist) CriticalPath(from, to string) (int, []string, error) {
+	src, ok := nl.nets[from]
+	if !ok {
+		return 0, nil, fmt.Errorf("netlist %s: unknown net %q", nl.Name, from)
+	}
+	dst, ok := nl.nets[to]
+	if !ok {
+		return 0, nil, fmt.Errorf("netlist %s: unknown net %q", nl.Name, to)
+	}
+	// Longest-path DP over the DAG: dist[n] = max delay from src to n.
+	const unreached = -1
+	dist := map[*Net]int{src: 0}
+	via := map[*Net]*Instance{}
+	order, err := nl.topoOrder()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, n := range order {
+		d, ok := dist[n]
+		if !ok {
+			continue
+		}
+		for _, inst := range n.loads {
+			cand := d + inst.Type.Delay
+			if cur, ok := dist[inst.out]; !ok || cand > cur {
+				dist[inst.out] = cand
+				via[inst.out] = inst
+			}
+		}
+		_ = unreached
+	}
+	d, ok := dist[dst]
+	if !ok {
+		return 0, nil, fmt.Errorf("netlist %s: no path %q -> %q", nl.Name, from, to)
+	}
+	var path []string
+	for n := dst; n != src; {
+		inst := via[n]
+		if inst == nil {
+			break
+		}
+		path = append(path, inst.Name)
+		// Step back through the input on the critical arc.
+		best, bestD := (*Net)(nil), -1
+		for _, in := range inst.ins {
+			if id, ok := dist[in]; ok && id > bestD {
+				best, bestD = in, id
+			}
+		}
+		if best == nil {
+			break
+		}
+		n = best
+	}
+	// Reverse into source-to-sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return d, path, nil
+}
+
+// MustPath is CriticalPath returning only the delay; it panics on error.
+func (nl *Netlist) MustPath(from, to string) int {
+	d, _, err := nl.CriticalPath(from, to)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// topoOrder returns the nets in topological order, erroring on cycles
+// (which would indicate a builder bug — sequential loops must be folded
+// into composite cells).
+func (nl *Netlist) topoOrder() ([]*Net, error) {
+	indeg := map[*Net]int{}
+	var all []*Net
+	for _, n := range nl.nets {
+		if n.driver == nil {
+			indeg[n] = 0
+		} else {
+			indeg[n] = 1 // one driver instance gates the net
+		}
+	}
+	seen := map[*Net]bool{}
+	for _, n := range nl.nets {
+		if !seen[n] {
+			seen[n] = true
+			all = append(all, n)
+		}
+	}
+	// Stable ordering for determinism.
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	// Kahn's algorithm at instance granularity: an instance fires when
+	// all its input nets are resolved.
+	waiting := map[*Instance]int{}
+	for _, inst := range nl.instances {
+		waiting[inst] = len(inst.ins)
+	}
+	var queue []*Net
+	for _, n := range all {
+		if n.driver == nil {
+			queue = append(queue, n)
+		}
+	}
+	var order []*Net
+	resolved := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		resolved++
+		for _, inst := range n.loads {
+			waiting[inst]--
+			if waiting[inst] == 0 {
+				queue = append(queue, inst.out)
+			}
+		}
+	}
+	// Count distinct nets (aliases map multiple names to one net).
+	if resolved != len(all) {
+		return nil, fmt.Errorf("netlist %s: combinational cycle detected", nl.Name)
+	}
+	return order, nil
+}

@@ -1,0 +1,401 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"asyncnoc/internal/cell"
+)
+
+func TestAddArityValidation(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity did not panic")
+		}
+	}()
+	nl.Add(cell.Nand2, "g", in) // needs 2 inputs
+}
+
+func TestDuplicateInstancePanics(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	nl.Add(cell.Inv, "g", in)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate instance did not panic")
+		}
+	}()
+	nl.Add(cell.Inv, "g", in)
+}
+
+func TestDuplicateAliasPanics(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	out := nl.Add(cell.Inv, "g", in)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate alias did not panic")
+		}
+	}()
+	nl.Alias("a", out)
+}
+
+func TestAreaAndCellCount(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	nl.Add(cell.Inv, "g1", in)
+	nl.Add(cell.Nand2, "g2", in, in)
+	if nl.CellCount() != 2 {
+		t.Errorf("CellCount = %d", nl.CellCount())
+	}
+	want := cell.Inv.Area + cell.Nand2.Area
+	if math.Abs(nl.Area()-want) > 1e-9 {
+		t.Errorf("Area = %v, want %v", nl.Area(), want)
+	}
+}
+
+func TestCriticalPathLinear(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	x := nl.Add(cell.Buf, "b1", in)
+	x = nl.Add(cell.Buf, "b2", x)
+	x = nl.Add(cell.Inv, "i1", x)
+	nl.Alias("out", x)
+	d, path, err := nl.CriticalPath("a", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2*cell.Buf.Delay+cell.Inv.Delay {
+		t.Errorf("delay = %d", d)
+	}
+	if len(path) != 3 || path[0] != "b1" || path[2] != "i1" {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestCriticalPathPicksLongestBranch(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	short := nl.Add(cell.Inv, "short", in)
+	long1 := nl.Add(cell.Xor2, "long1", in, in)
+	long2 := nl.Add(cell.Xor2, "long2", long1, in)
+	join := nl.Add(cell.Nand2, "join", short, long2)
+	nl.Alias("out", join)
+	d, path, err := nl.CriticalPath("a", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*cell.Xor2.Delay + cell.Nand2.Delay
+	if d != want {
+		t.Errorf("delay = %d, want %d", d, want)
+	}
+	joined := strings.Join(path, ",")
+	if !strings.Contains(joined, "long1") || !strings.Contains(joined, "long2") {
+		t.Errorf("path %v does not follow long branch", path)
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	nl.Input("b")
+	nl.Add(cell.Inv, "g", in)
+	if _, _, err := nl.CriticalPath("missing", "g.o"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, _, err := nl.CriticalPath("a", "missing"); err == nil {
+		t.Error("unknown sink accepted")
+	}
+	if _, _, err := nl.CriticalPath("b", "g.o"); err == nil {
+		t.Error("disconnected pair accepted")
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("no-such-node"); err == nil {
+		t.Error("unknown node type accepted")
+	}
+}
+
+func TestCellHistogram(t *testing.T) {
+	nl := New("t")
+	in := nl.Input("a")
+	nl.Add(cell.Inv, "g1", in)
+	nl.Add(cell.Inv, "g2", in)
+	nl.Add(cell.Nand2, "g3", in, in)
+	h := nl.CellHistogram()
+	if len(h) != 2 {
+		t.Fatalf("histogram %v", h)
+	}
+	if h[0].Cell != cell.Inv.Name || h[0].Count != 2 {
+		t.Errorf("histogram %v", h)
+	}
+}
+
+// paperNode holds Section 5.2(a)'s reported pre-layout figures.
+var paperNodes = []struct {
+	name    string
+	areaUm2 float64
+	fwdPs   int
+}{
+	{BaselineFanout, 342, 263},
+	{SpecFanout, 247, 52},
+	{NonSpecFanout, 406, 299},
+	{OptSpecFanout, 373, 120},
+	{OptNonSpecFanout, 366, 279},
+}
+
+// TestNodeLevelResults regenerates the paper's node-level table: forward
+// latencies are design-exact; areas must land within 1% of the reported
+// pre-layout values.
+func TestNodeLevelResults(t *testing.T) {
+	for _, pn := range paperNodes {
+		nl, err := Build(pn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nl.MustPath(NetReqIn, NetReqOut0); got != pn.fwdPs {
+			t.Errorf("%s forward latency %d ps, paper %d ps", pn.name, got, pn.fwdPs)
+		}
+		if got := nl.Area(); math.Abs(got-pn.areaUm2)/pn.areaUm2 > 0.01 {
+			t.Errorf("%s area %.2f um^2, paper %.0f um^2 (>1%% off)", pn.name, got, pn.areaUm2)
+		}
+	}
+}
+
+// TestNodeOrderings asserts the qualitative relations the paper draws from
+// the node-level data.
+func TestNodeOrderings(t *testing.T) {
+	get := func(name string) (float64, int) {
+		nl, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl.Area(), nl.MustPath(NetReqIn, NetReqOut0)
+	}
+	baseA, baseL := get(BaselineFanout)
+	specA, specL := get(SpecFanout)
+	nsA, nsL := get(NonSpecFanout)
+	osA, osL := get(OptSpecFanout)
+	onA, onL := get(OptNonSpecFanout)
+	// "unoptimized speculative nodes ... significantly lower area and
+	// latency than Baseline"
+	if specA >= baseA || specL >= baseL {
+		t.Error("speculative node not cheaper/faster than baseline")
+	}
+	// "unoptimized non-speculative nodes have only small overhead over
+	// Baseline"
+	if nsA <= baseA || nsL <= baseL {
+		t.Error("non-speculative node not a small overhead over baseline")
+	}
+	// "optimized speculative nodes have moderate cost increases over
+	// unoptimized"
+	if osA <= specA || osL <= specL {
+		t.Error("optimized speculative not costlier than unoptimized speculative")
+	}
+	// "optimized non-speculative nodes have slightly lower costs than
+	// the unoptimized ones"
+	if onA >= nsA || onL >= nsL {
+		t.Error("optimized non-speculative not cheaper than unoptimized")
+	}
+}
+
+// TestSecondaryPaths pins the designed secondary timing arcs that feed the
+// behavioral simulator.
+func TestSecondaryPaths(t *testing.T) {
+	spec := BuildSpecFanout()
+	if got := spec.MustPath(NetReqIn, NetAckOut); got != 114 {
+		t.Errorf("spec ack path %d ps, want 114", got)
+	}
+	ns := BuildNonSpecFanout()
+	if got := ns.MustPath(NetReqIn, NetAckFast); got != 128 {
+		t.Errorf("non-spec throttle ack %d ps, want 128", got)
+	}
+	ons := BuildOptNonSpecFanout()
+	if got := ons.MustPath(NetReqIn, NetReqOutFast); got != 100 {
+		t.Errorf("opt non-spec body fast-forward %d ps, want 100", got)
+	}
+	if got := ons.MustPath(NetReqIn, NetAckFast); got != 128 {
+		t.Errorf("opt non-spec throttle ack %d ps, want 128", got)
+	}
+	os := BuildOptSpecFanout()
+	if got := os.MustPath(NetReqIn, NetAckFast); got != 178 {
+		t.Errorf("opt spec single-route ack %d ps, want 178", got)
+	}
+	fanin := BuildFanin()
+	if got := fanin.MustPath(NetReqIn, NetReqOut0); got != 190 {
+		t.Errorf("fanin forward %d ps, want 190", got)
+	}
+}
+
+// TestBothPortsSymmetric checks that the two output ports of every fanout
+// node have identical forward latency (the trees are symmetric).
+func TestBothPortsSymmetric(t *testing.T) {
+	for _, pn := range paperNodes {
+		nl, err := Build(pn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d0 := nl.MustPath(NetReqIn, NetReqOut0)
+		d1 := nl.MustPath(NetReqIn, NetReqOut1)
+		if d0 != d1 {
+			t.Errorf("%s asymmetric ports: %d vs %d ps", pn.name, d0, d1)
+		}
+	}
+}
+
+// TestAllNetlistsAcyclic ensures every builder produces a DAG (sequential
+// loops must be folded into composite cells).
+func TestAllNetlistsAcyclic(t *testing.T) {
+	for _, name := range AllNodeNames() {
+		nl, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nl.topoOrder(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestDatapathDominatesArea sanity-checks the structure: in every fanout
+// node the latch banks are the single largest area contributor, as in any
+// real bundled-data switch.
+func TestDatapathDominatesArea(t *testing.T) {
+	for _, pn := range paperNodes {
+		nl, err := Build(pn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var latchArea float64
+		for _, h := range nl.CellHistogram() {
+			if strings.HasPrefix(h.Cell, "DLL") {
+				latchArea += float64(h.Count) * cell.LatchT.Area
+			}
+		}
+		if latchArea < 0.3*nl.Area() {
+			t.Errorf("%s: latches are only %.1f%% of area", pn.name, 100*latchArea/nl.Area())
+		}
+	}
+}
+
+func BenchmarkBuildAndAnalyze(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nl := BuildNonSpecFanout()
+		_ = nl.MustPath(NetReqIn, NetReqOut0)
+	}
+}
+
+// TestSwitchingEnergyPositiveAndOrdered checks the static energy analysis:
+// every node has positive per-traversal energy, and the ordering matches
+// the node-complexity story (speculative cheapest, non-speculative most
+// expensive among the MoT fanouts, the 5-port mesh router far above all).
+func TestSwitchingEnergyPositiveAndOrdered(t *testing.T) {
+	e := map[string]float64{}
+	for _, name := range append(AllNodeNames(), MeshRouter) {
+		nl, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e[name] = nl.SwitchingEnergyPJ()
+		if e[name] <= 0 {
+			t.Errorf("%s: non-positive energy", name)
+		}
+		if f := nl.DatapathFraction(); f <= 0.2 || f >= 0.95 {
+			t.Errorf("%s: datapath fraction %.2f implausible", name, f)
+		}
+	}
+	if !(e[SpecFanout] < e[BaselineFanout] && e[BaselineFanout] < e[NonSpecFanout]) {
+		t.Errorf("energy ordering wrong: spec %.3f base %.3f nonspec %.3f",
+			e[SpecFanout], e[BaselineFanout], e[NonSpecFanout])
+	}
+	if e[MeshRouter] < 3*e[NonSpecFanout] {
+		t.Errorf("mesh router energy %.3f not well above MoT nodes", e[MeshRouter])
+	}
+}
+
+// TestEnergyTracksAreaProxy verifies that the netlist switching-energy
+// ratios corroborate the area-proportional proxy the network power model
+// uses: for the five MoT fanout nodes the two agree within 12%.
+func TestEnergyTracksAreaProxy(t *testing.T) {
+	base := BuildBaselineFanout()
+	baseRatio := base.SwitchingEnergyPJ() / base.Area()
+	for _, name := range []string{SpecFanout, NonSpecFanout, OptSpecFanout, OptNonSpecFanout} {
+		nl, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := nl.SwitchingEnergyPJ() / nl.Area()
+		rel := ratio/baseRatio - 1
+		if rel < -0.12 || rel > 0.12 {
+			t.Errorf("%s: energy/area ratio deviates %.1f%% from baseline (proxy mismatch)", name, 100*rel)
+		}
+	}
+}
+
+// TestLintInvariants pins the structural health of every node design: no
+// combinational cycles anywhere, and the only unused inputs are the ones
+// that are unused BY DESIGN — the speculative fanout ignores addrIn (the
+// paper's core claim: speculative switches need no addressing), and the
+// mesh router's ack pins are folded into its state inputs.
+func TestLintInvariants(t *testing.T) {
+	allowedUnused := map[string]map[string]bool{
+		SpecFanout: {"addrIn": true},
+		MeshRouter: {"ackIn0": true, "ackIn1": true},
+	}
+	for _, name := range append(AllNodeNames(), MeshRouter) {
+		nl, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, issue := range nl.Lint() {
+			if issue.Kind == "cycle" {
+				t.Errorf("%s: combinational cycle", name)
+				continue
+			}
+			if !allowedUnused[name][issue.Net] {
+				t.Errorf("%s: unexpected lint issue %v", name, issue)
+			}
+		}
+		// Area-modeling structure exists in every design but never
+		// dominates it entirely.
+		fl := nl.FloatingOutputs()
+		if fl == 0 || fl >= nl.CellCount() {
+			t.Errorf("%s: floating outputs %d of %d cells implausible", name, fl, nl.CellCount())
+		}
+	}
+	// LintSummary formats non-empty output for a dirty netlist.
+	dirty := New("dirty")
+	dirty.Input("alone")
+	if s := dirty.LintSummary(); !strings.Contains(s, "unused-input: alone") {
+		t.Errorf("LintSummary = %q", s)
+	}
+	clean := New("clean")
+	in := clean.Input("a")
+	clean.MarkOutput(clean.Add(cell.Inv, "g", in))
+	if s := clean.LintSummary(); s != "" {
+		t.Errorf("clean netlist reports %q", s)
+	}
+}
+
+// TestMeshRouterNetlist pins the mesh router's gate-level analysis used
+// by the future-work substrate.
+func TestMeshRouterNetlist(t *testing.T) {
+	nl := BuildMeshRouter()
+	if got := nl.MustPath(NetReqIn, NetReqOut0); got != 421 {
+		t.Errorf("mesh router forward %d ps, want 421", got)
+	}
+	if got := nl.MustPath(NetReqIn, NetReqOutFast); got != 126 {
+		t.Errorf("mesh router body fast path %d ps, want 126", got)
+	}
+	if got := nl.MustPath(NetReqIn, NetAckOut); got != 565 {
+		t.Errorf("mesh router ack path %d ps, want 565", got)
+	}
+	// A five-port router dwarfs the 1:2 MoT switches.
+	if a := nl.Area(); a < 4*406 || a > 8*406 {
+		t.Errorf("mesh router area %.0f um^2 outside the expected 4-8x MoT-node band", a)
+	}
+}

@@ -1,0 +1,168 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asyncnoc/internal/cell"
+)
+
+// Verilog emits the netlist as a structural Verilog module, the format
+// the paper uses to assemble its technology-mapped networks. Standard
+// gates map to Verilog primitives; the asynchronous composites
+// (C-element, toggle, mutex) and the level-sensitive latch reference the
+// behavioral library modules emitted by VerilogLibrary.
+//
+// Emission is deterministic: instances appear in placement order and
+// ports in sorted order, so output is diffable across runs.
+func (nl *Netlist) Verilog() string {
+	var b strings.Builder
+	modName := sanitize(nl.Name)
+
+	// Ports: primary inputs and marked outputs.
+	inNames := make([]string, 0, len(nl.inputs))
+	for _, in := range nl.inputs {
+		inNames = append(inNames, sanitize(in.Name))
+	}
+	sort.Strings(inNames)
+	outNames := make([]string, 0, len(nl.outputs))
+	seenOut := map[string]bool{}
+	for _, out := range nl.outputs {
+		n := sanitize(out.Name)
+		if !seenOut[n] {
+			seenOut[n] = true
+			outNames = append(outNames, n)
+		}
+	}
+	sort.Strings(outNames)
+
+	fmt.Fprintf(&b, "// %s — generated from the asyncnoc gate-level model\n", nl.Name)
+	fmt.Fprintf(&b, "module %s (\n", modName)
+	ports := make([]string, 0, len(inNames)+len(outNames))
+	for _, n := range inNames {
+		ports = append(ports, "  input  wire "+n)
+	}
+	for _, n := range outNames {
+		ports = append(ports, "  output wire "+n)
+	}
+	b.WriteString(strings.Join(ports, ",\n"))
+	b.WriteString("\n);\n\n")
+
+	// Internal wires: every instance output that is not a module output.
+	for _, inst := range nl.instances {
+		n := sanitize(inst.out.Name)
+		if !seenOut[n] {
+			fmt.Fprintf(&b, "  wire %s;\n", n)
+		}
+	}
+	b.WriteString("\n")
+
+	for _, inst := range nl.instances {
+		b.WriteString("  " + instanceLine(inst) + "\n")
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+// instanceLine renders one cell instantiation.
+func instanceLine(inst *Instance) string {
+	out := sanitize(inst.out.Name)
+	ins := make([]string, len(inst.ins))
+	for i, in := range inst.ins {
+		ins[i] = sanitize(in.Name)
+	}
+	name := sanitize(inst.Name)
+	switch inst.Type {
+	case cell.Inv:
+		return fmt.Sprintf("not  %s (%s, %s);", name, out, ins[0])
+	case cell.Buf, cell.Buf4:
+		return fmt.Sprintf("buf  %s (%s, %s);", name, out, ins[0])
+	case cell.Nand2, cell.Nand3:
+		return fmt.Sprintf("nand %s (%s, %s);", name, out, strings.Join(ins, ", "))
+	case cell.Nor2:
+		return fmt.Sprintf("nor  %s (%s, %s);", name, out, strings.Join(ins, ", "))
+	case cell.And2:
+		return fmt.Sprintf("and  %s (%s, %s);", name, out, strings.Join(ins, ", "))
+	case cell.Or2:
+		return fmt.Sprintf("or   %s (%s, %s);", name, out, strings.Join(ins, ", "))
+	case cell.Xor2:
+		return fmt.Sprintf("xor  %s (%s, %s);", name, out, strings.Join(ins, ", "))
+	case cell.Xnor2:
+		return fmt.Sprintf("xnor %s (%s, %s);", name, out, strings.Join(ins, ", "))
+	case cell.Aoi22:
+		return fmt.Sprintf("AOI22 %s (.zn(%s), .a1(%s), .a2(%s), .b1(%s), .b2(%s));",
+			name, out, ins[0], ins[1], ins[2], ins[3])
+	case cell.Mux2:
+		return fmt.Sprintf("MUX2 %s (.z(%s), .a(%s), .b(%s), .s(%s));", name, out, ins[0], ins[1], ins[2])
+	case cell.C2:
+		return fmt.Sprintf("CELEM2 %s (.z(%s), .a(%s), .b(%s));", name, out, ins[0], ins[1])
+	case cell.LatchT, cell.LatchE:
+		return fmt.Sprintf("DLL %s (.q(%s), .d(%s), .g(%s));", name, out, ins[0], ins[1])
+	case cell.Toggle:
+		return fmt.Sprintf("TOGGLE %s (.z(%s), .a(%s));", name, out, ins[0])
+	case cell.Mutex:
+		return fmt.Sprintf("MUTEX2 %s (.g1(%s), .r1(%s), .r2(%s));", name, out, ins[0], ins[1])
+	default:
+		return fmt.Sprintf("%s %s (%s, %s);", inst.Type.Name, name, out, strings.Join(ins, ", "))
+	}
+}
+
+// VerilogLibrary emits the behavioral definitions of the asynchronous
+// composite cells referenced by Verilog(): a standard C-element (with
+// state-holding feedback), a transition toggle, a mutual-exclusion
+// element, a transparent latch, an AOI22, and a mux.
+func VerilogLibrary() string {
+	return `// asyncnoc behavioral cell library (asynchronous composites)
+
+module CELEM2 (output reg z, input a, input b);
+  // 2-input Muller C-element: z follows the inputs when they agree.
+  always @(a or b)
+    if (a == b) z <= a;
+endmodule
+
+module TOGGLE (output reg z, input a);
+  // Transition element: one output transition per input transition.
+  initial z = 1'b0;
+  always @(a) z <= ~z;
+endmodule
+
+module MUTEX2 (output g1, input r1, input r2);
+  // Two-way mutual exclusion (metastability filter abstracted).
+  assign g1 = r1 & ~r2;
+endmodule
+
+module DLL (output reg q, input d, input g);
+  // Level-sensitive latch, transparent when g is high.
+  always @(d or g)
+    if (g) q <= d;
+endmodule
+
+module AOI22 (output zn, input a1, input a2, input b1, input b2);
+  assign zn = ~((a1 & a2) | (b1 & b2));
+endmodule
+
+module MUX2 (output z, input a, input b, input s);
+  assign z = s ? b : a;
+endmodule
+`
+}
+
+// sanitize converts net/instance names to Verilog identifiers.
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('n')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"asyncnoc/internal/cell"
+)
+
+func TestVerilogSmallNetlist(t *testing.T) {
+	nl := New("toy")
+	a := nl.Input("a")
+	b := nl.Input("b")
+	x := nl.Add(cell.Nand2, "g1", a, b)
+	y := nl.Add(cell.Inv, "g2", x)
+	nl.Alias("out", y)
+	nl.MarkOutput(y)
+
+	v := nl.Verilog()
+	want := []string{
+		"module toy (",
+		"input  wire a",
+		"input  wire b",
+		"output wire g2_o",
+		"wire g1_o;",
+		"nand g1 (g1_o, a, b);",
+		"not  g2 (g2_o, g1_o);",
+		"endmodule",
+	}
+	for _, w := range want {
+		if !strings.Contains(v, w) {
+			t.Errorf("verilog missing %q:\n%s", w, v)
+		}
+	}
+}
+
+func TestVerilogDeterministic(t *testing.T) {
+	a := BuildOptSpecFanout().Verilog()
+	b := BuildOptSpecFanout().Verilog()
+	if a != b {
+		t.Error("verilog emission not deterministic")
+	}
+}
+
+func TestVerilogAllNodesEmit(t *testing.T) {
+	for _, name := range AllNodeNames() {
+		nl, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := nl.Verilog()
+		if !strings.HasPrefix(v, "// "+name) {
+			t.Errorf("%s: missing header", name)
+		}
+		if !strings.Contains(v, "module "+sanitize(name)+" (") {
+			t.Errorf("%s: missing module declaration", name)
+		}
+		if !strings.HasSuffix(v, "endmodule\n") {
+			t.Errorf("%s: missing endmodule", name)
+		}
+		// Every placed instance appears exactly once.
+		if got := strings.Count(v, ";"); got < nl.CellCount() {
+			t.Errorf("%s: %d statements for %d cells", name, got, nl.CellCount())
+		}
+		// Balanced parens (cheap syntax sanity).
+		if strings.Count(v, "(") != strings.Count(v, ")") {
+			t.Errorf("%s: unbalanced parentheses", name)
+		}
+	}
+}
+
+func TestVerilogCompositeCellsUseLibrary(t *testing.T) {
+	v := BuildSpecFanout().Verilog()
+	if !strings.Contains(v, "CELEM2 ack_c2") {
+		t.Error("C-element not instantiated via library module")
+	}
+	if !strings.Contains(v, "DLL p0_latch0") {
+		t.Error("latch not instantiated via library module")
+	}
+	lib := VerilogLibrary()
+	for _, mod := range []string{"CELEM2", "TOGGLE", "MUTEX2", "DLL", "AOI22", "MUX2"} {
+		if !strings.Contains(lib, "module "+mod+" (") {
+			t.Errorf("library missing module %s", mod)
+		}
+	}
+	if strings.Count(lib, "\nmodule ") != strings.Count(lib, "\nendmodule") {
+		t.Error("library module/endmodule mismatch")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"reqIn":      "reqIn",
+		"p0_latch.o": "p0_latch_o",
+		"1abc":       "n1abc",
+		"a-b":        "a_b",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerilogFaninPorts(t *testing.T) {
+	v := BuildFanin().Verilog()
+	for _, w := range []string{"input  wire reqIn0", "input  wire reqIn1", "MUTEX2 arb_mutex"} {
+		if !strings.Contains(v, w) {
+			t.Errorf("fanin verilog missing %q", w)
+		}
+	}
+}

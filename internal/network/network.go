@@ -1,0 +1,420 @@
+// Package network assembles complete asynchronous MoT NoC instances from
+// the behavioral node models: one fanout tree per source, one fanin tree
+// per destination, source and sink network interfaces, and the accounting
+// hooks (latency recorder, energy meter, optional trace).
+//
+// The package also implements the serial-multicast expansion of the
+// Baseline network: a k-destination multicast injected there becomes k
+// back-to-back unicast packets, exactly the scheme the paper's new
+// parallel networks are compared against.
+package network
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/metrics"
+	"asyncnoc/internal/node"
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/power"
+	"asyncnoc/internal/routing"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/timing"
+	"asyncnoc/internal/topology"
+)
+
+// Spec describes one network architecture.
+type Spec struct {
+	// Name is the reporting name (e.g. "OptHybridSpeculative").
+	Name string
+	// N is the MoT radix (terminals per side).
+	N int
+	// PacketLen is the flits-per-packet (the paper uses 5).
+	PacketLen int
+	// Scheme selects the speculation placement of the fanout trees.
+	Scheme topology.Scheme
+	// SpecLevels, when non-nil, overrides Scheme with an explicit
+	// per-level speculation vector (root level first; the last level
+	// must be false). This opens the wider hybrid design space the
+	// paper describes for larger MoTs (Figure 3(d)).
+	SpecLevels []bool
+	// SpecKind is the node behavior at speculative levels.
+	SpecKind node.Kind
+	// NonSpecKind is the node behavior at non-speculative levels.
+	NonSpecKind node.Kind
+	// Serial marks the baseline network: unicast-only nodes, 1-bit
+	// source routing, multicast expanded into serial unicasts.
+	Serial bool
+	// Protocol selects the channel handshake (two-phase by default;
+	// four-phase models the RZ alternative the paper argues against).
+	Protocol timing.Protocol
+	// SyncPeriod, when positive, clocks every node at this period: the
+	// synchronous-NoC comparison point of the paper's future work. Node
+	// traversal is quantized to worst-case cycles and the energy meter
+	// charges a load-independent clock tree.
+	SyncPeriod sim.Time
+}
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	if s.PacketLen < 1 {
+		return fmt.Errorf("network %s: packet length %d < 1", s.Name, s.PacketLen)
+	}
+	if s.Serial && s.NonSpecKind != node.Baseline {
+		return fmt.Errorf("network %s: serial baseline must use baseline fanout nodes", s.Name)
+	}
+	if !s.Serial && s.NonSpecKind == node.Baseline {
+		return fmt.Errorf("network %s: baseline fanout nodes cannot route multicast", s.Name)
+	}
+	return nil
+}
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+const (
+	// TraceInject marks a logical packet entering a source queue.
+	TraceInject TraceKind = iota
+	// TraceForward marks a fanout node committing a flit to ports.
+	TraceForward
+	// TraceThrottle marks a fanout node absorbing a redundant flit.
+	TraceThrottle
+	// TraceDeliver marks a flit landing at a destination interface.
+	TraceDeliver
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceInject:
+		return "inject"
+	case TraceForward:
+		return "forward"
+	case TraceThrottle:
+		return "throttle"
+	case TraceDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one observable simulation event.
+type TraceEvent struct {
+	Kind TraceKind
+	At   sim.Time
+	Flit packet.Flit
+	// Tree/Heap identify the fanout node (Forward/Throttle events).
+	Tree, Heap int
+	// Ports is the output-port count driven (Forward events).
+	Ports int
+	// Dest is the destination terminal (Deliver events).
+	Dest int
+}
+
+// Network is one simulated NoC instance.
+type Network struct {
+	Spec      Spec
+	Sched     *sim.Scheduler
+	MoT       *topology.MoT
+	Placement *topology.Placement
+	Rec       *metrics.Recorder
+	Meter     *power.Meter
+	// Trace, when set, observes inject/forward/throttle/deliver events.
+	Trace func(TraceEvent)
+
+	sources []*SourceNI
+	sinks   []*SinkNI
+	fanouts [][]*node.Fanout // [tree][heap 1..N-1]
+	fanins  [][]*node.Fanin  // [tree][heap 1..N-1]
+
+	nextID uint64
+}
+
+// New builds a network instance with its own scheduler, recorder, and
+// energy meter.
+func New(spec Spec) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := topology.New(spec.N)
+	if err != nil {
+		return nil, err
+	}
+	var pl *topology.Placement
+	switch {
+	case spec.Serial:
+		// The baseline network has no speculation; the placement only
+		// provides tree geometry.
+		pl, err = topology.ForScheme(m, topology.NonSpeculative)
+	case spec.SpecLevels != nil:
+		pl, err = topology.NewPlacement(m, spec.SpecLevels)
+	default:
+		pl, err = topology.ForScheme(m, spec.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler()
+	nw := &Network{
+		Spec:      spec,
+		Sched:     sched,
+		MoT:       m,
+		Placement: pl,
+		Rec:       metrics.NewRecorder(),
+		Meter:     power.NewMeter(sched.Now),
+	}
+	nw.build()
+	if spec.SyncPeriod > 0 {
+		nodes := float64(m.TotalFanoutNodes() + m.TotalFaninNodes())
+		// fJ per ps is mW: clock energy per node per cycle over the period.
+		nw.Meter.BackgroundMW = nodes * power.ClockTreeFJPerNodeCycle / float64(spec.SyncPeriod)
+	}
+	return nw, nil
+}
+
+// kindFor returns the node behavior for heap position k.
+func (nw *Network) kindFor(k int) node.Kind {
+	if nw.Spec.Serial {
+		return node.Baseline
+	}
+	if nw.Placement.IsSpeculative(k) {
+		return nw.Spec.SpecKind
+	}
+	return nw.Spec.NonSpecKind
+}
+
+// channel wires a link with the standard wire delays and energy hook.
+func (nw *Network) channel(dst node.Sink, dstPort int, src node.AckTarget, srcPort int) *node.Channel {
+	ch := &node.Channel{
+		Sched:    nw.Sched,
+		FwdDelay: timing.ChannelFwd,
+		AckDelay: timing.ChannelAckFor(nw.Spec.Protocol),
+		Dst:      dst,
+		DstPort:  dstPort,
+		Src:      src,
+		SrcPort:  srcPort,
+	}
+	ch.OnTraverse = func(packet.Flit) { nw.Meter.Channel() }
+	return ch
+}
+
+// build instantiates and wires every node, interface, and channel.
+func (nw *Network) build() {
+	n := nw.Spec.N
+	nw.fanouts = make([][]*node.Fanout, n)
+	nw.fanins = make([][]*node.Fanin, n)
+	nw.sources = make([]*SourceNI, n)
+	nw.sinks = make([]*SinkNI, n)
+	// Multicast-capable networks decouple replication branches with a
+	// two-packet FIFO per output port (see node.Fanout): headers reserve
+	// a full packet of space (virtual cut-through), and the second
+	// packet's worth of slots lets consecutive packets overlap. The
+	// serial baseline keeps the plain bufferless switch of [21].
+	fifoCap := 2 * nw.Spec.PacketLen
+	if nw.Spec.Serial {
+		fifoCap = 1
+	}
+	for t := 0; t < n; t++ {
+		nw.fanouts[t] = make([]*node.Fanout, n)
+		nw.fanins[t] = make([]*node.Fanin, n)
+		for k := 1; k < n; k++ {
+			fo := node.NewFanout(nw.Sched, nw.kindFor(k), t, k, nw.Placement, fifoCap, nw.Spec.Protocol)
+			if nw.Spec.SyncPeriod > 0 {
+				fo.Clock(nw.Spec.SyncPeriod)
+			}
+			tree, heap, area := t, k, fo.Timing().AreaUm2
+			fo.OnForward = func(f packet.Flit, ports int) {
+				nw.Meter.NodeForward(area, ports)
+				if nw.Trace != nil {
+					nw.Trace(TraceEvent{Kind: TraceForward, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap, Ports: ports})
+				}
+			}
+			fo.OnAbsorb = func(f packet.Flit) {
+				nw.Meter.NodeAbsorb(area)
+				if nw.Trace != nil {
+					nw.Trace(TraceEvent{Kind: TraceThrottle, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap})
+				}
+			}
+			nw.fanouts[t][k] = fo
+
+			fi := node.NewFanin(nw.Sched, t, k, nw.Spec.Protocol)
+			if nw.Spec.SyncPeriod > 0 {
+				fi.Clock(nw.Spec.SyncPeriod)
+			}
+			fiArea := fi.Timing().AreaUm2
+			fi.OnForward = func(packet.Flit) { nw.Meter.NodeForward(fiArea, 1) }
+			nw.fanins[t][k] = fi
+		}
+		nw.sources[t] = newSourceNI(nw, t)
+		nw.sinks[t] = newSinkNI(nw, t)
+	}
+	// Wire the channels.
+	for t := 0; t < n; t++ {
+		// Source NI -> fanout root.
+		root := nw.channel(nw.fanouts[t][1], 0, nw.sources[t], 0)
+		nw.sources[t].out = root
+		nw.fanouts[t][1].ConnectInput(root)
+		for k := 1; k < n; k++ {
+			for _, p := range []topology.Port{topology.Top, topology.Bottom} {
+				c := nw.MoT.Child(k, p)
+				if c < n {
+					// Internal fanout link.
+					ch := nw.channel(nw.fanouts[t][c], 0, nw.fanouts[t][k], int(p))
+					nw.fanouts[t][k].ConnectOutput(p, ch)
+					nw.fanouts[t][c].ConnectInput(ch)
+				} else {
+					// Leaf crossing: fanout tree t, leaf for dest d,
+					// enters fanin tree d at the leaf slot for source t.
+					d := c - n
+					fiHeap := (n + t) / 2
+					fiPort := (n + t) % 2
+					ch := nw.channel(nw.fanins[d][fiHeap], fiPort, nw.fanouts[t][k], int(p))
+					nw.fanouts[t][k].ConnectOutput(p, ch)
+					nw.fanins[d][fiHeap].ConnectInput(fiPort, ch)
+				}
+			}
+		}
+		// Fanin internal links (leaves toward root) and root -> sink.
+		for k := n - 1; k >= 2; k-- {
+			parent, via := nw.MoT.Parent(k)
+			ch := nw.channel(nw.fanins[t][parent], int(via), nw.fanins[t][k], 0)
+			nw.fanins[t][k].ConnectOutput(ch)
+			nw.fanins[t][parent].ConnectInput(int(via), ch)
+		}
+		sinkCh := nw.channel(nw.sinks[t], 0, nw.fanins[t][1], 0)
+		nw.fanins[t][1].ConnectOutput(sinkCh)
+		nw.sinks[t].in = sinkCh
+	}
+}
+
+// Inject creates a logical packet from src to dests at the current
+// simulation time and queues it (expanded if the network is serial).
+func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
+	if src < 0 || src >= nw.Spec.N {
+		return nil, fmt.Errorf("network %s: source %d out of range", nw.Spec.Name, src)
+	}
+	if dests.Empty() {
+		return nil, fmt.Errorf("network %s: empty destination set", nw.Spec.Name)
+	}
+	now := nw.Sched.Now()
+	nw.nextID++
+	p := &packet.Packet{
+		ID:        nw.nextID,
+		Src:       src,
+		Dests:     dests,
+		Length:    nw.Spec.PacketLen,
+		CreatedAt: int64(now),
+	}
+	nw.Rec.PacketCreated(p, now)
+	if nw.Trace != nil {
+		nw.Trace(TraceEvent{Kind: TraceInject, At: now, Flit: packet.Flit{Pkt: p}})
+	}
+	if nw.Spec.Serial {
+		// Serial multicast: one unicast clone per destination,
+		// injected back-to-back through the same interface.
+		for _, d := range dests.Members() {
+			route, err := routing.EncodeBaseline(nw.MoT, d)
+			if err != nil {
+				return nil, err
+			}
+			nw.nextID++
+			clone := &packet.Packet{
+				ID:        nw.nextID,
+				Src:       src,
+				Dests:     packet.Dest(d),
+				Length:    nw.Spec.PacketLen,
+				Route:     route,
+				Parent:    p,
+				CreatedAt: int64(now),
+			}
+			nw.sources[src].enqueue(clone)
+		}
+		return p, nil
+	}
+	route, err := routing.EncodeMulticast(nw.Placement, dests)
+	if err != nil {
+		return nil, err
+	}
+	p.Route = route
+	nw.sources[src].enqueue(p)
+	return p, nil
+}
+
+// SourceQueueLen returns the backlog (in flits) of one source interface.
+func (nw *Network) SourceQueueLen(src int) int { return len(nw.sources[src].queue) }
+
+// FaultFanoutChannel arms a stuck-at fault on one fanout output channel
+// after `after` successful flits (failure injection for tests).
+func (nw *Network) FaultFanoutChannel(tree, heap int, port topology.Port, after int) {
+	nw.fanouts[tree][heap].OutputChannel(port).Fault(after)
+}
+
+// Fanout exposes one fanout node (tests and diagnostics).
+func (nw *Network) Fanout(tree, heap int) *node.Fanout { return nw.fanouts[tree][heap] }
+
+// Fanin exposes one fanin node (tests and diagnostics).
+func (nw *Network) Fanin(tree, heap int) *node.Fanin { return nw.fanins[tree][heap] }
+
+// SourceNI is a source network interface: an injection queue drained one
+// flit per root-channel handshake.
+type SourceNI struct {
+	nw    *Network
+	src   int
+	out   *node.Channel
+	queue []packet.Flit
+	busy  bool
+}
+
+func newSourceNI(nw *Network, src int) *SourceNI {
+	return &SourceNI{nw: nw, src: src}
+}
+
+func (ni *SourceNI) enqueue(p *packet.Packet) {
+	ni.queue = append(ni.queue, p.Flits()...)
+	ni.pump()
+}
+
+func (ni *SourceNI) pump() {
+	if ni.busy || len(ni.queue) == 0 {
+		return
+	}
+	f := ni.queue[0]
+	ni.queue = ni.queue[1:]
+	ni.busy = true
+	ni.nw.Meter.Interface()
+	ni.out.Send(f)
+}
+
+// OnAck implements node.AckTarget: the root channel returned its ack.
+func (ni *SourceNI) OnAck(int) {
+	ni.nw.Sched.After(timing.NICycle, func() {
+		ni.busy = false
+		ni.pump()
+	})
+}
+
+// SinkNI is a destination network interface: it consumes flits, records
+// deliveries, and acknowledges after its consume time.
+type SinkNI struct {
+	nw   *Network
+	dest int
+	in   *node.Channel
+}
+
+func newSinkNI(nw *Network, dest int) *SinkNI {
+	return &SinkNI{nw: nw, dest: dest}
+}
+
+// OnFlit implements node.Sink.
+func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
+	now := ni.nw.Sched.Now()
+	ni.nw.Rec.FlitDelivered(now)
+	ni.nw.Meter.Interface()
+	if f.IsHeader() {
+		ni.nw.Rec.HeaderArrived(f.Pkt, ni.dest, now)
+	}
+	if ni.nw.Trace != nil {
+		ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
+	}
+	ni.nw.Sched.After(timing.SinkAck, ni.in.Ack)
+}

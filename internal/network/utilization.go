@@ -1,0 +1,72 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Utilization aggregates per-level fanout activity: how many flits each
+// tree level forwarded and how many redundant (speculative) flits it
+// absorbed. It quantifies the paper's headline locality claim — with a
+// hybrid placement, redundant copies die one level below each
+// speculative level instead of propagating.
+type Utilization struct {
+	levels int
+	// ForwardsAtLevel counts committed flit-forwards per fanout level.
+	ForwardsAtLevel []int64
+	// ThrottlesAtLevel counts absorbed flits per fanout level.
+	ThrottlesAtLevel []int64
+	// Delivered counts flit arrivals at destination interfaces.
+	Delivered int64
+}
+
+// AttachUtilization instruments the network (chaining any existing Trace
+// callback) and returns the live counters.
+func AttachUtilization(nw *Network) *Utilization {
+	u := &Utilization{
+		levels:           nw.MoT.Levels,
+		ForwardsAtLevel:  make([]int64, nw.MoT.Levels),
+		ThrottlesAtLevel: make([]int64, nw.MoT.Levels),
+	}
+	prev := nw.Trace
+	nw.Trace = func(ev TraceEvent) {
+		if prev != nil {
+			prev(ev)
+		}
+		switch ev.Kind {
+		case TraceForward:
+			u.ForwardsAtLevel[nw.MoT.LevelOf(ev.Heap)]++
+		case TraceThrottle:
+			u.ThrottlesAtLevel[nw.MoT.LevelOf(ev.Heap)]++
+		case TraceDeliver:
+			u.Delivered++
+		}
+	}
+	return u
+}
+
+// RedundantFraction returns throttled flits as a fraction of all fanout
+// flit movements — the network-wide waste of speculation.
+func (u *Utilization) RedundantFraction() float64 {
+	var fwd, thr int64
+	for lvl := 0; lvl < u.levels; lvl++ {
+		fwd += u.ForwardsAtLevel[lvl]
+		thr += u.ThrottlesAtLevel[lvl]
+	}
+	if fwd+thr == 0 {
+		return 0
+	}
+	return float64(thr) / float64(fwd+thr)
+}
+
+// String renders a per-level table.
+func (u *Utilization) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s\n", "level", "forwards", "throttled")
+	for lvl := 0; lvl < u.levels; lvl++ {
+		fmt.Fprintf(&b, "%-8d %12d %12d\n", lvl, u.ForwardsAtLevel[lvl], u.ThrottlesAtLevel[lvl])
+	}
+	fmt.Fprintf(&b, "delivered flits: %d, redundant fraction: %.1f%%\n",
+		u.Delivered, 100*u.RedundantFraction())
+	return b.String()
+}

@@ -1,0 +1,107 @@
+// Package node implements the behavioral models that the network
+// simulator executes: the two-phase bundled-data channel, the five fanout
+// node variants of Section 4, and the fanin (arbitration) node.
+//
+// Each node is a state machine driven by two event kinds: a request edge
+// delivering a flit on an input channel (OnFlit) and an acknowledge edge
+// returning on an output channel (OnAck). Timing comes from the gate-level
+// analyses in internal/timing; the handshake sequencing below mirrors the
+// protocol descriptions of the paper.
+package node
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/sim"
+)
+
+// Sink receives flits from a channel.
+type Sink interface {
+	// OnFlit is invoked when the channel's request edge (with its
+	// bundled flit) reaches input port `port` of the receiver.
+	OnFlit(port int, f packet.Flit)
+}
+
+// AckTarget receives acknowledge edges from a channel.
+type AckTarget interface {
+	// OnAck is invoked when the acknowledge for the last flit sent on
+	// output port `port` returns to the sender.
+	OnAck(port int)
+}
+
+// Channel is a point-to-point two-phase bundled-data link. The sender
+// toggles the request wire with the data bundle (Send); the receiver
+// toggles the acknowledge wire (Ack) to return credit. At most one flit is
+// in flight per channel: sending without the previous ack is a protocol
+// violation and panics.
+type Channel struct {
+	Sched *sim.Scheduler
+	// FwdDelay is the request/data wire flight time.
+	FwdDelay sim.Time
+	// AckDelay is the acknowledge wire flight time.
+	AckDelay sim.Time
+	// Dst receives flits on DstPort.
+	Dst     Sink
+	DstPort int
+	// Src receives acknowledges on SrcPort.
+	Src     AckTarget
+	SrcPort int
+	// OnTraverse, when set, observes every flit that enters the wire
+	// (energy accounting and tracing).
+	OnTraverse func(f packet.Flit)
+
+	inFlight bool
+	acked    bool
+
+	faulted    bool
+	faultAfter int
+	sends      int
+}
+
+// Fault arms a stuck-at fault: the channel delivers its first `after`
+// flits normally, then wedges — subsequent flits neither arrive nor get
+// acknowledged, stalling the upstream stage forever. Used by the
+// failure-injection tests to verify that losses are observable (packets
+// stop completing) and localizable (activity counters go quiet below
+// the fault).
+func (c *Channel) Fault(after int) {
+	c.faulted = true
+	c.faultAfter = after
+}
+
+// Send drives a flit onto the channel.
+func (c *Channel) Send(f packet.Flit) {
+	if c.inFlight {
+		panic(fmt.Sprintf("channel to port %d of %T: send while flit in flight", c.DstPort, c.Dst))
+	}
+	c.inFlight = true
+	c.acked = false
+	c.sends++
+	if c.faulted && c.sends > c.faultAfter {
+		return // wedged: the flit vanishes, the ack never comes
+	}
+	if c.OnTraverse != nil {
+		c.OnTraverse(f)
+	}
+	c.Sched.After(c.FwdDelay, func() { c.Dst.OnFlit(c.DstPort, f) })
+}
+
+// Ack returns the acknowledge edge to the sender. The receiver calls it
+// exactly once per received flit.
+func (c *Channel) Ack() {
+	if !c.inFlight || c.acked {
+		panic(fmt.Sprintf("channel to port %d of %T: ack without pending flit", c.DstPort, c.Dst))
+	}
+	c.acked = true
+	c.Sched.After(c.AckDelay, func() {
+		c.inFlight = false
+		if c.Src != nil {
+			c.Src.OnAck(c.SrcPort)
+		}
+	})
+}
+
+// Busy reports whether a flit is in flight (sent but not yet acknowledged
+// back to the sender).
+func (c *Channel) Busy() bool { return c.inFlight }

@@ -1,0 +1,171 @@
+package node
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/netlist"
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/timing"
+)
+
+// faninFIFO is the fanin node's elastic output-buffer depth. The [21]
+// switch the node is reused from pipelines its output stage (the grant
+// latch and channel driver form a two-stage asynchronous pipeline), so a
+// forwarded flit parks in the output stage while the previous one's
+// acknowledge is still in flight.
+const faninFIFO = 2
+
+// Fanin is one fanin (arbitration) node: two input channels, a
+// mutual-exclusion arbiter, a single output channel. It is reused
+// unchanged from the baseline network [21] — the fanout network delivers
+// at most one copy of a packet into each fanin tree, so multicast needs no
+// changes here (Section 2).
+//
+// Arbitration is wormhole-granular: the header that wins the mutex locks
+// the output port for its whole packet; the tail releases it. Ties between
+// simultaneous headers break round-robin, modeling a fair mutex.
+type Fanin struct {
+	sched *sim.Scheduler
+	t     timing.Node
+
+	// Identity: destination tree and heap index (diagnostics).
+	Tree, Heap int
+
+	in      [2]*Channel
+	out     *Channel
+	outBusy bool
+	fifo    []packet.Flit
+
+	pending    [2]*packet.Flit
+	locked     int // input index owning the output, -1 when free
+	lastWin    int
+	forwarding bool // a flit is traversing the arbitration/grant stage
+
+	// nextAllowed enforces the arbitration stage's minimum handshake
+	// cycle (grant path + acknowledge generation).
+	nextAllowed sim.Time
+	retryArmed  bool
+
+	// OnForward observes each flit forwarded toward the destination.
+	OnForward func(f packet.Flit)
+}
+
+// NewFanin creates a fanin node.
+func NewFanin(sched *sim.Scheduler, tree, heap int, proto timing.Protocol) *Fanin {
+	return &Fanin{
+		sched:   sched,
+		t:       timing.MustByName(netlist.FaninNode).ForProtocol(proto),
+		Tree:    tree,
+		Heap:    heap,
+		locked:  -1,
+		lastWin: 1,
+	}
+}
+
+// Clock reconfigures the node as a synchronous pipeline stage (see
+// Fanout.Clock).
+func (n *Fanin) Clock(period sim.Time) {
+	n.t.FwdHeader = period
+	n.t.FwdBody = period
+	n.t.AckDelay = period / 8
+}
+
+// Timing returns the node's derived timing parameters.
+func (n *Fanin) Timing() timing.Node { return n.t }
+
+// ConnectInput attaches one of the two upstream channels.
+func (n *Fanin) ConnectInput(port int, ch *Channel) { n.in[port] = ch }
+
+// ConnectOutput attaches the downstream channel.
+func (n *Fanin) ConnectOutput(ch *Channel) { n.out = ch }
+
+// OnFlit implements Sink.
+func (n *Fanin) OnFlit(port int, f packet.Flit) {
+	if n.pending[port] != nil {
+		panic(fmt.Sprintf("fanin %d/%d: flit %v arrived on port %d while %v unacknowledged",
+			n.Tree, n.Heap, f, port, *n.pending[port]))
+	}
+	if !f.IsHeader() && n.locked != port {
+		panic(fmt.Sprintf("fanin %d/%d: body flit %v on unlocked port %d", n.Tree, n.Heap, f, port))
+	}
+	fl := f
+	n.pending[port] = &fl
+	n.tryForward()
+}
+
+// tryForward arbitrates and moves at most one flit through the grant
+// stage into the output buffer.
+func (n *Fanin) tryForward() {
+	if n.forwarding || len(n.fifo) >= faninFIFO {
+		return
+	}
+	if now := n.sched.Now(); now < n.nextAllowed {
+		if !n.retryArmed {
+			n.retryArmed = true
+			n.sched.After(n.nextAllowed-now, func() {
+				n.retryArmed = false
+				n.tryForward()
+			})
+		}
+		return
+	}
+	pick := -1
+	if n.locked >= 0 {
+		if n.pending[n.locked] == nil {
+			return
+		}
+		pick = n.locked
+	} else {
+		// Round-robin arbitration among pending headers.
+		for off := 1; off <= 2; off++ {
+			cand := (n.lastWin + off) % 2
+			if n.pending[cand] != nil {
+				pick = cand
+				break
+			}
+		}
+		if pick < 0 {
+			return
+		}
+	}
+	f := *n.pending[pick]
+	n.pending[pick] = nil
+	n.forwarding = true
+	if f.IsTail() {
+		n.locked = -1
+	} else {
+		n.locked = pick
+	}
+	n.lastWin = pick
+	n.nextAllowed = n.sched.Now() + n.t.FwdHeader + n.t.AckDelay
+	in := n.in[pick]
+	n.sched.After(n.t.FwdHeader, func() {
+		n.forwarding = false
+		n.fifo = append(n.fifo, f)
+		if n.OnForward != nil {
+			n.OnForward(f)
+		}
+		n.sched.After(n.t.AckDelay, func() { in.Ack() })
+		n.pump()
+		n.tryForward()
+	})
+}
+
+// pump drives the head of the output buffer onto the wire when idle.
+func (n *Fanin) pump() {
+	if n.outBusy || len(n.fifo) == 0 {
+		return
+	}
+	f := n.fifo[0]
+	n.fifo = n.fifo[1:]
+	n.outBusy = true
+	n.out.Send(f)
+}
+
+// OnAck implements AckTarget: the output channel returned its acknowledge.
+func (n *Fanin) OnAck(int) {
+	n.outBusy = false
+	n.pump()
+	n.tryForward()
+}

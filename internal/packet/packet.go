@@ -1,0 +1,196 @@
+// Package packet defines the flit-level data units that travel through the
+// asynchronous Mesh-of-Trees network.
+//
+// A packet is a fixed sequence of flits: one header carrying the source
+// route, zero or more body flits, and one tail. The paper evaluates 5-flit
+// packets (header + 3 body + tail); the model supports any length >= 1
+// (a 1-flit packet is a combined header/tail).
+package packet
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// DestSet is a bitmask over destination terminal indices (bit d set means
+// destination d is addressed). It supports networks of up to 64 terminals
+// per side, far beyond the 8x8 and 16x16 MoTs studied in the paper.
+type DestSet uint64
+
+// Dest returns the singleton set {d}.
+func Dest(d int) DestSet { return 1 << uint(d) }
+
+// Dests builds a set from a list of destination indices.
+func Dests(ds ...int) DestSet {
+	var s DestSet
+	for _, d := range ds {
+		s |= Dest(d)
+	}
+	return s
+}
+
+// Has reports whether d is in the set.
+func (s DestSet) Has(d int) bool { return s&Dest(d) != 0 }
+
+// Add returns the set with d included.
+func (s DestSet) Add(d int) DestSet { return s | Dest(d) }
+
+// Count returns the number of destinations in the set.
+func (s DestSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no destinations.
+func (s DestSet) Empty() bool { return s == 0 }
+
+// Intersect returns the intersection of two sets.
+func (s DestSet) Intersect(o DestSet) DestSet { return s & o }
+
+// Range returns the set of all destinations in [lo, hi).
+func Range(lo, hi int) DestSet {
+	if hi <= lo {
+		return 0
+	}
+	if hi-lo >= 64 {
+		return ^DestSet(0) << uint(lo)
+	}
+	return ((1 << uint(hi-lo)) - 1) << uint(lo)
+}
+
+// Members returns the destinations in ascending order.
+func (s DestSet) Members() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		d := bits.TrailingZeros64(v)
+		out = append(out, d)
+		v &= v - 1
+	}
+	return out
+}
+
+// First returns the smallest destination in the set, or -1 if empty.
+func (s DestSet) First() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// String renders the set as "{d0,d1,...}".
+func (s DestSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, d := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FlitKind distinguishes the three flit classes of a packet.
+type FlitKind uint8
+
+const (
+	// Header carries the source route and opens the path.
+	Header FlitKind = iota
+	// Body carries payload.
+	Body
+	// Tail carries payload and closes/releases the path.
+	Tail
+)
+
+// String returns the conventional short name of the flit kind.
+func (k FlitKind) String() string {
+	switch k {
+	case Header:
+		return "header"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	default:
+		return fmt.Sprintf("FlitKind(%d)", uint8(k))
+	}
+}
+
+// Packet is a single injected message. For the serial-multicast baseline a
+// logical multicast is expanded into several Packets that share the same
+// Parent.
+type Packet struct {
+	// ID is unique per simulation run.
+	ID uint64
+	// Src is the injecting source terminal.
+	Src int
+	// Dests is the destination set (singleton for unicast).
+	Dests DestSet
+	// Length is the total number of flits (>= 1).
+	Length int
+	// Route is the packed source-routing address bits for the header,
+	// interpreted by internal/routing against the network's placement.
+	Route uint64
+	// Parent links a serialized unicast clone back to the logical
+	// multicast packet it was expanded from (nil otherwise).
+	Parent *Packet
+	// CreatedAt is the generation timestamp in picoseconds, recorded by
+	// the network interface for latency accounting.
+	CreatedAt int64
+}
+
+// IsMulticast reports whether the packet addresses more than one destination.
+func (p *Packet) IsMulticast() bool { return p.Dests.Count() > 1 }
+
+// Flit is one transfer unit on a channel.
+type Flit struct {
+	Pkt *Packet
+	// Index is the flit position within the packet, 0-based.
+	Index int
+	// Branch is the per-branch destination subset used by
+	// destination-encoded routing (the 2D-mesh substrate prunes the
+	// header's destination mask at every replication). Zero means the
+	// full Pkt.Dests applies (source-routed MoT networks never prune).
+	Branch DestSet
+}
+
+// BranchDests returns the destination set this flit copy is responsible
+// for: the pruned branch subset if set, the packet's full set otherwise.
+func (f Flit) BranchDests() DestSet {
+	if f.Branch != 0 {
+		return f.Branch
+	}
+	return f.Pkt.Dests
+}
+
+// Kind derives the flit class from its position and the packet length.
+func (f Flit) Kind() FlitKind {
+	switch {
+	case f.Index == 0:
+		return Header
+	case f.Index == f.Pkt.Length-1:
+		return Tail
+	default:
+		return Body
+	}
+}
+
+// IsHeader reports whether this is the header flit.
+func (f Flit) IsHeader() bool { return f.Index == 0 }
+
+// IsTail reports whether this is the last flit. A 1-flit packet's single
+// flit is both header and tail.
+func (f Flit) IsTail() bool { return f.Index == f.Pkt.Length-1 }
+
+// String renders the flit for traces.
+func (f Flit) String() string {
+	return fmt.Sprintf("pkt%d[%d/%d:%s]", f.Pkt.ID, f.Index, f.Pkt.Length, f.Kind())
+}
+
+// Flits materializes all flits of the packet in order.
+func (p *Packet) Flits() []Flit {
+	out := make([]Flit, p.Length)
+	for i := range out {
+		out[i] = Flit{Pkt: p, Index: i}
+	}
+	return out
+}

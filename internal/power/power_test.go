@@ -1,0 +1,97 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"asyncnoc/internal/sim"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func newTestMeter(now *sim.Time) *Meter {
+	m := NewMeter(func() sim.Time { return *now })
+	m.Model = Model{PJPerUm2: 0.01, InputFraction: 0.4, PortFraction: 0.3, ChannelPJ: 2, InterfacePJ: 1}
+	return m
+}
+
+func TestNodeForwardEnergy(t *testing.T) {
+	now := sim.Time(0)
+	m := newTestMeter(&now)
+	m.SetWindow(0, 1000)
+	m.NodeForward(100, 1) // 100 um^2, one port: 1.0 * (0.4+0.3) = 0.7 pJ
+	if !approx(m.EnergyPJ(), 0.7) {
+		t.Errorf("single-port energy %v, want 0.7", m.EnergyPJ())
+	}
+	m.NodeForward(100, 2) // broadcast: 1.0 pJ
+	if !approx(m.EnergyPJ(), 1.7) {
+		t.Errorf("after broadcast %v, want 1.7", m.EnergyPJ())
+	}
+}
+
+func TestAbsorbCheaperThanForward(t *testing.T) {
+	now := sim.Time(0)
+	a := newTestMeter(&now)
+	a.SetWindow(0, 1000)
+	a.NodeAbsorb(100)
+	f := newTestMeter(&now)
+	f.SetWindow(0, 1000)
+	f.NodeForward(100, 1)
+	if a.EnergyPJ() >= f.EnergyPJ() {
+		t.Error("throttled flit must cost less than a forwarded one")
+	}
+	if !approx(a.EnergyPJ(), 0.4) {
+		t.Errorf("absorb energy %v, want 0.4", a.EnergyPJ())
+	}
+}
+
+func TestWindowFiltering(t *testing.T) {
+	now := sim.Time(0)
+	m := newTestMeter(&now)
+	m.SetWindow(100, 200)
+	m.Channel() // t=0: outside
+	now = 150
+	m.Channel() // inside
+	m.Interface()
+	now = 200
+	m.Channel() // boundary: outside
+	if !approx(m.EnergyPJ(), 3) {
+		t.Errorf("energy %v, want 3 (one channel + one interface)", m.EnergyPJ())
+	}
+	fw, ab, ch, ifc := m.Counters()
+	if fw != 0 || ab != 0 || ch != 1 || ifc != 1 {
+		t.Errorf("counters %d/%d/%d/%d", fw, ab, ch, ifc)
+	}
+}
+
+func TestPowerMW(t *testing.T) {
+	now := sim.Time(500)
+	m := newTestMeter(&now)
+	m.SetWindow(0, 1000) // 1 ns
+	for i := 0; i < 5; i++ {
+		m.Channel() // 2 pJ each
+	}
+	if !approx(m.PowerMW(), 10) {
+		t.Errorf("power %v mW, want 10 (10 pJ / 1 ns)", m.PowerMW())
+	}
+}
+
+func TestPowerZeroWindow(t *testing.T) {
+	now := sim.Time(0)
+	m := newTestMeter(&now)
+	m.SetWindow(100, 100)
+	if m.PowerMW() != 0 {
+		t.Error("zero window power should be 0")
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	d := DefaultModel()
+	if d.PJPerUm2 <= 0 || d.ChannelPJ <= 0 || d.InterfacePJ <= 0 {
+		t.Error("default model has non-positive energies")
+	}
+	if d.InputFraction+2*d.PortFraction != 1.0 {
+		t.Errorf("broadcast fraction = %v, want exactly 1.0 of node area",
+			d.InputFraction+2*d.PortFraction)
+	}
+}

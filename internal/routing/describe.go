@@ -1,0 +1,40 @@
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"asyncnoc/internal/topology"
+)
+
+// Describe renders a packed multicast route against its placement as a
+// per-node directive listing, for traces and debugging:
+//
+//	n2:f0=both n4:f2=top n5:f3=throttle ... (spec: n1)
+func Describe(p *topology.Placement, route uint64) string {
+	m := p.MoT()
+	var fields []string
+	var spec []string
+	for k := 1; k < m.N; k++ {
+		if fi, ok := p.FieldIndex(k); ok {
+			fields = append(fields, fmt.Sprintf("n%d:f%d=%s", k, fi, SymbolAt(route, fi)))
+		} else {
+			spec = append(spec, fmt.Sprintf("n%d", k))
+		}
+	}
+	out := strings.Join(fields, " ")
+	if len(spec) > 0 {
+		out += " (spec: " + strings.Join(spec, ",") + ")"
+	}
+	return out
+}
+
+// DescribeBaseline renders a baseline unicast path route as the per-level
+// port choices: "L0=bottom L1=top L2=bottom".
+func DescribeBaseline(m *topology.MoT, route uint64) string {
+	parts := make([]string, m.Levels)
+	for lvl := 0; lvl < m.Levels; lvl++ {
+		parts[lvl] = fmt.Sprintf("L%d=%s", lvl, BaselinePort(route, lvl))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,323 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/rng"
+	"asyncnoc/internal/topology"
+)
+
+func TestSymbolNames(t *testing.T) {
+	cases := map[Symbol]string{
+		SymNone: "throttle", SymTop: "top", SymBottom: "bottom", SymBoth: "both",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("Symbol %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Symbol(7).String() != "Symbol(7)" {
+		t.Error("unknown symbol formatting wrong")
+	}
+}
+
+func TestSymbolWants(t *testing.T) {
+	if SymNone.Wants(topology.Top) || SymNone.Wants(topology.Bottom) {
+		t.Error("SymNone wants a port")
+	}
+	if !SymTop.Wants(topology.Top) || SymTop.Wants(topology.Bottom) {
+		t.Error("SymTop wrong")
+	}
+	if SymBottom.Wants(topology.Top) || !SymBottom.Wants(topology.Bottom) {
+		t.Error("SymBottom wrong")
+	}
+	if !SymBoth.Wants(topology.Top) || !SymBoth.Wants(topology.Bottom) {
+		t.Error("SymBoth wrong")
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	if SymbolFor(false, false) != SymNone || SymbolFor(true, false) != SymTop ||
+		SymbolFor(false, true) != SymBottom || SymbolFor(true, true) != SymBoth {
+		t.Error("SymbolFor mapping wrong")
+	}
+}
+
+func TestEncodeMulticastValidation(t *testing.T) {
+	m := topology.MustNew(8)
+	p := topology.MustForScheme(m, topology.NonSpeculative)
+	if _, err := EncodeMulticast(p, 0); err == nil {
+		t.Error("empty dest set accepted")
+	}
+	if _, err := EncodeMulticast(p, packet.Dest(8)); err == nil {
+		t.Error("out-of-range dest accepted")
+	}
+}
+
+func TestEncodeBaselineValidation(t *testing.T) {
+	m := topology.MustNew(8)
+	if _, err := EncodeBaseline(m, -1); err == nil {
+		t.Error("negative dest accepted")
+	}
+	if _, err := EncodeBaseline(m, 8); err == nil {
+		t.Error("dest 8 accepted on 8x8")
+	}
+}
+
+func TestEncodeBaselinePath(t *testing.T) {
+	m := topology.MustNew(8)
+	for d := 0; d < 8; d++ {
+		route, err := EncodeBaseline(m, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Walking the tree by the per-level bits must land on leaf n+d.
+		k := 1
+		for lvl := 0; lvl < m.Levels; lvl++ {
+			k = m.Child(k, BaselinePort(route, lvl))
+		}
+		if k != m.N+d {
+			t.Errorf("dest %d: baseline walk ended at slot %d, want %d", d, k, m.N+d)
+		}
+	}
+}
+
+func TestEncodeMulticastUnicast(t *testing.T) {
+	m := topology.MustNew(8)
+	p := topology.MustForScheme(m, topology.NonSpeculative)
+	route, err := EncodeMulticast(p, packet.Dest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path to 5 is nodes 1 -> 3 -> 6; every on-path node routes one way,
+	// every off-path node throttles.
+	wantSym := map[int]Symbol{
+		1: SymBottom, 3: SymTop, 6: SymBottom,
+		2: SymNone, 4: SymNone, 5: SymNone, 7: SymNone,
+	}
+	for k, want := range wantSym {
+		if got := NodeSymbol(p, k, route); got != want {
+			t.Errorf("node %d symbol %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestEncodeMulticastBroadcastAll(t *testing.T) {
+	m := topology.MustNew(8)
+	p := topology.MustForScheme(m, topology.NonSpeculative)
+	route, err := EncodeMulticast(p, packet.Range(0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < 8; k++ {
+		if got := NodeSymbol(p, k, route); got != SymBoth {
+			t.Errorf("full broadcast: node %d symbol %v, want both", k, got)
+		}
+	}
+}
+
+func TestSpeculativeNodesHaveNoFieldButBroadcast(t *testing.T) {
+	m := topology.MustNew(8)
+	p := topology.MustForScheme(m, topology.Hybrid)
+	route, err := EncodeMulticast(p, packet.Dest(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root (node 1) is speculative under hybrid: implicit broadcast.
+	if got := NodeSymbol(p, 1, route); got != SymBoth {
+		t.Errorf("speculative root symbol %v, want both", got)
+	}
+	// Node 3 covers dests 4-7: none targeted, so throttle.
+	if got := NodeSymbol(p, 3, route); got != SymNone {
+		t.Errorf("node 3 symbol %v, want throttle", got)
+	}
+}
+
+// walk traverses the fanout tree applying node symbols the way the network
+// does (speculative nodes broadcast, SymNone throttles) and returns the set
+// of destinations whose leaf channel receives the packet.
+func walk(p *topology.Placement, route uint64) packet.DestSet {
+	m := p.MoT()
+	var reached packet.DestSet
+	var visit func(k int)
+	visit = func(k int) {
+		sym := NodeSymbol(p, k, route)
+		for _, port := range []topology.Port{topology.Top, topology.Bottom} {
+			if !sym.Wants(port) {
+				continue
+			}
+			c := m.Child(k, port)
+			if c >= m.N {
+				reached = reached.Add(c - m.N)
+			} else {
+				visit(c)
+			}
+		}
+	}
+	visit(1)
+	return reached
+}
+
+// TestDeliveryCompleteness is the central routing property: for every
+// scheme, walking the encoded route delivers the packet to exactly the
+// destination set — speculative over-delivery is throttled before any leaf
+// that is not addressed (because the last level is always non-speculative).
+func TestDeliveryCompleteness(t *testing.T) {
+	r := rng.New(2016)
+	for _, n := range []int{4, 8, 16, 32} {
+		m := topology.MustNew(n)
+		for _, scheme := range []topology.Scheme{topology.NonSpeculative, topology.Hybrid, topology.AllSpeculative} {
+			p := topology.MustForScheme(m, scheme)
+			for trial := 0; trial < 200; trial++ {
+				var dests packet.DestSet
+				for dests.Empty() {
+					for d := 0; d < n; d++ {
+						if r.Bool(0.3) {
+							dests = dests.Add(d)
+						}
+					}
+				}
+				route, err := EncodeMulticast(p, dests)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := walk(p, route); got != dests {
+					t.Fatalf("n=%d %v dests %v delivered %v", n, scheme, dests, got)
+				}
+			}
+		}
+	}
+}
+
+// TestThrottleLocality verifies the headline claim of local speculation:
+// any redundant copy created by a speculative node is throttled at the
+// first non-speculative node it reaches (it never crosses one).
+func TestThrottleLocality(t *testing.T) {
+	m := topology.MustNew(16)
+	p := topology.MustForScheme(m, topology.Hybrid)
+	route, err := EncodeMulticast(p, packet.Dest(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-speculative node whose subtree misses the dest set must
+	// read SymNone (throttle) — redundant copies die there.
+	for k := 1; k < m.N; k++ {
+		if p.IsSpeculative(k) {
+			continue
+		}
+		onRoute := m.SubtreeDests(k).Has(0)
+		sym := NodeSymbol(p, k, route)
+		if onRoute && sym == SymNone {
+			t.Errorf("on-route node %d throttles", k)
+		}
+		if !onRoute && sym != SymNone {
+			t.Errorf("off-route node %d has symbol %v, want throttle", k, sym)
+		}
+	}
+}
+
+func TestSizesFor(t *testing.T) {
+	// The full Section 5.2(d) comparison.
+	s8, err := SizesFor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s8.Baseline != 3 || s8.NonSpeculative != 14 || s8.Hybrid != 12 || s8.AllSpeculative != 8 {
+		t.Errorf("8x8 sizes = %+v, want 3/14/12/8", s8)
+	}
+	if s8.BitVector != 8 {
+		t.Errorf("8x8 bit-vector = %d, want 8 (one bit per destination)", s8.BitVector)
+	}
+	s16, err := SizesFor(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s16.Baseline != 4 || s16.NonSpeculative != 30 || s16.Hybrid != 20 || s16.AllSpeculative != 16 {
+		t.Errorf("16x16 sizes = %+v, want 4/30/20/16", s16)
+	}
+	if s16.BitVector != 16 {
+		t.Errorf("16x16 bit-vector = %d, want 16", s16.BitVector)
+	}
+	if _, err := SizesFor(5); err == nil {
+		t.Error("SizesFor(5) accepted")
+	}
+}
+
+// Property: encode/decode round trip — every addressable node's decoded
+// symbol equals the recomputed need of its subtrees.
+func TestEncodeDecodeProperty(t *testing.T) {
+	m := topology.MustNew(16)
+	p := topology.MustForScheme(m, topology.Hybrid)
+	f := func(raw uint16) bool {
+		dests := packet.DestSet(raw)
+		if dests.Empty() {
+			return true
+		}
+		route, err := EncodeMulticast(p, dests)
+		if err != nil {
+			return false
+		}
+		for k := 1; k < m.N; k++ {
+			fi, ok := p.FieldIndex(k)
+			if !ok {
+				continue
+			}
+			needTop := !dests.Intersect(m.SubtreeDests(m.Child(k, topology.Top))).Empty()
+			needBot := !dests.Intersect(m.SubtreeDests(m.Child(k, topology.Bottom))).Empty()
+			if SymbolAt(route, fi) != SymbolFor(needTop, needBot) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeMulticast(b *testing.B) {
+	m := topology.MustNew(16)
+	p := topology.MustForScheme(m, topology.Hybrid)
+	dests := packet.Dests(0, 3, 7, 11, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeMulticast(p, dests); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := topology.MustNew(8)
+	p := topology.MustForScheme(m, topology.Hybrid)
+	route, err := EncodeMulticast(p, packet.Dests(0, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Describe(p, route)
+	for _, want := range []string{
+		"n2:f0=both",     // dests on both halves of the top subtree
+		"n3:f1=throttle", // no dests in the bottom subtree
+		"n4:f2=top",      // dest 0
+		"n5:f3=both",     // dests 2, 3
+		"(spec: n1)",     // hybrid root carries no field
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestDescribeBaseline(t *testing.T) {
+	m := topology.MustNew(8)
+	route, err := EncodeBaseline(m, 5) // 0b101: bottom, top, bottom
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DescribeBaseline(m, route); got != "L0=bottom L1=top L2=bottom" {
+		t.Errorf("DescribeBaseline = %q", got)
+	}
+}

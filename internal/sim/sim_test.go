@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ps"},
+		{999, "999ps"},
+		{Nanosecond, "1.000ns"},
+		{2500, "2.500ns"},
+		{Microsecond, "1.000us"},
+		{Never, "never"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeNanoseconds(t *testing.T) {
+	if got := Time(2500).Nanoseconds(); got != 2.5 {
+		t.Errorf("Nanoseconds() = %v, want 2.5", got)
+	}
+}
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %v after run, want 30", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Errorf("Executed() = %d, want 3", s.Executed())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(42, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO at %d: got %v", i, v)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := NewScheduler()
+	var fired Time
+	s.Schedule(100, func() {
+		s.After(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 150 {
+		t.Errorf("After fired at %v, want 150", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.Schedule(50, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	ev := s.Schedule(10, func() { ran = true })
+	if !s.Cancel(ev) {
+		t.Error("Cancel returned false for pending event")
+	}
+	if s.Cancel(ev) {
+		t.Error("second Cancel returned true")
+	}
+	if s.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+	s.Run()
+	if ran {
+		t.Error("canceled event still ran")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, s.Schedule(Time(i*10), func() { order = append(order, i) }))
+	}
+	s.Cancel(evs[4])
+	s.Cancel(evs[7])
+	s.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(Time(i), func() {
+			count++
+			if count == 5 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 5 {
+		t.Errorf("ran %d events after Stop, want 5", count)
+	}
+	if s.Len() != 5 {
+		t.Errorf("queue has %d pending, want 5", s.Len())
+	}
+	// Run can resume after a Stop.
+	s.Run()
+	if count != 10 {
+		t.Errorf("resume ran to %d events, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v, want [10 20]", fired)
+	}
+	if s.Now() != 25 {
+		t.Errorf("Now() = %v, want deadline 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("second RunUntil fired %v, want all 4", fired)
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", s.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.Schedule(25, func() { ran = true })
+	s.RunUntil(25)
+	if !ran {
+		t.Error("event exactly at deadline did not run")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 50 {
+			s.After(1, schedule)
+		}
+	}
+	s.Schedule(0, schedule)
+	s.Run()
+	if depth != 50 {
+		t.Errorf("chained scheduling reached depth %d, want 50", depth)
+	}
+	if s.Now() != 49 {
+		t.Errorf("Now() = %v, want 49", s.Now())
+	}
+}
+
+// Property: for any multiset of timestamps, the scheduler dispatches them in
+// sorted order (stable for equal keys).
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := NewScheduler()
+		var got []Time
+		for _, r := range raw {
+			at := Time(r)
+			s.Schedule(at, func() { got = append(got, at) })
+		}
+		s.Run()
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		return len(got) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: canceling a random subset leaves exactly the complement, in order.
+func TestCancelSubsetProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		s := NewScheduler()
+		n := 1 + rnd.Intn(64)
+		type rec struct {
+			ev   *Event
+			at   Time
+			keep bool
+		}
+		recs := make([]rec, n)
+		var got []Time
+		for i := range recs {
+			at := Time(rnd.Intn(1000))
+			recs[i] = rec{at: at, keep: rnd.Intn(2) == 0}
+			recs[i].ev = s.Schedule(at, func() { got = append(got, at) })
+		}
+		var want []Time
+		for i := range recs {
+			if recs[i].keep {
+				want = append(want, recs[i].at)
+			} else {
+				s.Cancel(recs[i].ev)
+			}
+		}
+		s.Run()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dispatch %d at %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		for j := 0; j < 1000; j++ {
+			s.Schedule(Time(j%97), func() {})
+		}
+		s.Run()
+	}
+}

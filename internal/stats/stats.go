@@ -1,0 +1,149 @@
+// Package stats provides the small set of descriptive statistics used by
+// the measurement pipeline and the test suite.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// when fewer than two samples exist.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation
+// between closest ranks. It panics on an empty slice or p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Min returns the smallest value; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	// Lo and Hi bound the bucket [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of samples inside.
+	Count int
+}
+
+// Histogram buckets the samples into `bins` equal-width bins spanning
+// [min, max]. The last bin is closed on both ends. It panics on an empty
+// slice or non-positive bin count.
+func Histogram(xs []float64, bins int) []Bin {
+	if len(xs) == 0 {
+		panic("stats: histogram of empty slice")
+	}
+	if bins < 1 {
+		panic("stats: non-positive bin count")
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		return []Bin{{Lo: lo, Hi: hi, Count: len(xs)}}
+	}
+	width := (hi - lo) / float64(bins)
+	out := make([]Bin, bins)
+	for i := range out {
+		out[i].Lo = lo + float64(i)*width
+		out[i].Hi = lo + float64(i+1)*width
+	}
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	return out
+}
+
+// FormatHistogram renders an ASCII histogram with proportional bars.
+func FormatHistogram(bins []Bin, barWidth int) string {
+	maxCount := 0
+	for _, b := range bins {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bins {
+		n := 0
+		if maxCount > 0 {
+			n = b.Count * barWidth / maxCount
+		}
+		fmt.Fprintf(&sb, "%8.2f-%-8.2f %6d %s\n", b.Lo, b.Hi, b.Count, strings.Repeat("#", n))
+	}
+	return sb.String()
+}

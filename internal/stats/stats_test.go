@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !approx(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 || StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of <2 samples should be 0")
+	}
+	if !approx(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7)) {
+		t.Errorf("StdDev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if !approx(Percentile(xs, 0), 1) || !approx(Percentile(xs, 100), 5) {
+		t.Error("extremes wrong")
+	}
+	if !approx(Percentile(xs, 50), 3) {
+		t.Error("median wrong")
+	}
+	if !approx(Percentile(xs, 25), 2) {
+		t.Error("quartile wrong")
+	}
+	if !approx(Percentile([]float64{1, 2}, 50), 1.5) {
+		t.Error("interpolation wrong")
+	}
+	if !approx(Percentile([]float64{7}, 99), 7) {
+		t.Error("single element wrong")
+	}
+	if !approx(Median(xs), 3) {
+		t.Error("Median wrong")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+		func() { Min(nil) },
+		func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// Property: the mean lies between min and max, and percentiles are
+// monotone in p.
+func TestStatsProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		if m < Min(xs)-1e-9 || m > Max(xs)+1e-9 {
+			return false
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < last-1e-9 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	bins := Histogram(xs, 5)
+	if len(bins) != 5 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+		if b.Count != 2 {
+			t.Errorf("bin [%v,%v) count %d, want 2", b.Lo, b.Hi, b.Count)
+		}
+	}
+	if total != len(xs) {
+		t.Errorf("histogram lost samples: %d", total)
+	}
+	// Degenerate all-equal samples collapse to one bin.
+	one := Histogram([]float64{3, 3, 3}, 4)
+	if len(one) != 1 || one[0].Count != 3 {
+		t.Errorf("degenerate histogram %v", one)
+	}
+	// Rendering is non-empty and proportional.
+	out := FormatHistogram(bins, 10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Histogram(nil, 3) },
+		func() { Histogram([]float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

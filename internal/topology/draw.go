@@ -1,0 +1,48 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders one fanout tree of the placement as ASCII art, root at the
+// left, leaves (destination channels) at the right. Speculative nodes are
+// marked [S#], non-speculative (addressable) ones (N#); the field index
+// of each addressable node follows its heap index.
+//
+//	(N1:f0) ── top ──> (N2:f1) ...
+//
+// The drawing is intended for documentation and debugging of placements.
+func Draw(p *Placement) string {
+	m := p.MoT()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d MoT fanout tree, placement %s (address bits: %d)\n",
+		m.N, m.N, p, p.AddressBits())
+	var walk func(k, depth int, prefix string)
+	walk = func(k, depth int, prefix string) {
+		label := nodeLabel(p, k)
+		fmt.Fprintf(&b, "%s%s\n", prefix, label)
+		indent := strings.Repeat("    ", depth+1)
+		for _, port := range []Port{Top, Bottom} {
+			c := m.Child(k, port)
+			arrow := fmt.Sprintf("%s%s-> ", indent, port)
+			if c >= m.N {
+				fmt.Fprintf(&b, "%sD%d\n", arrow, c-m.N)
+			} else {
+				walk(c, depth+1, arrow)
+			}
+		}
+	}
+	walk(1, 0, "")
+	return b.String()
+}
+
+// nodeLabel formats one node: [S3] for speculative heap-3, (N5:f2) for
+// addressable heap-5 holding route field 2.
+func nodeLabel(p *Placement, k int) string {
+	if p.IsSpeculative(k) {
+		return fmt.Sprintf("[S%d]", k)
+	}
+	fi, _ := p.FieldIndex(k)
+	return fmt.Sprintf("(N%d:f%d)", k, fi)
+}

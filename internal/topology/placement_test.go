@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlacementValidation(t *testing.T) {
+	m := MustNew(8)
+	if _, err := NewPlacement(m, []bool{true, false}); err == nil {
+		t.Error("wrong-length vector accepted")
+	}
+	if _, err := NewPlacement(m, []bool{false, false, true}); err == nil {
+		t.Error("speculative last level accepted")
+	}
+	if _, err := NewPlacement(m, []bool{true, true, false}); err != nil {
+		t.Errorf("valid placement rejected: %v", err)
+	}
+}
+
+func TestSchemePlacements8x8(t *testing.T) {
+	m := MustNew(8)
+	cases := []struct {
+		scheme      Scheme
+		wantStr     string
+		wantFields  int
+		wantBits    int
+		wantSpec    int
+		specAtLevel []bool
+	}{
+		{NonSpeculative, "N|N|N", 7, 14, 0, []bool{false, false, false}},
+		{Hybrid, "S|N|N", 6, 12, 1, []bool{true, false, false}},
+		{AllSpeculative, "S|S|N", 4, 8, 3, []bool{true, true, false}},
+	}
+	for _, c := range cases {
+		p := MustForScheme(m, c.scheme)
+		if p.String() != c.wantStr {
+			t.Errorf("%v: placement %q, want %q", c.scheme, p.String(), c.wantStr)
+		}
+		if p.Fields() != c.wantFields {
+			t.Errorf("%v: Fields = %d, want %d", c.scheme, p.Fields(), c.wantFields)
+		}
+		if p.AddressBits() != c.wantBits {
+			t.Errorf("%v: AddressBits = %d, want %d (Section 5.2(d))", c.scheme, p.AddressBits(), c.wantBits)
+		}
+		if p.SpeculativeNodes() != c.wantSpec {
+			t.Errorf("%v: SpeculativeNodes = %d, want %d", c.scheme, p.SpeculativeNodes(), c.wantSpec)
+		}
+		for lvl, want := range c.specAtLevel {
+			if p.IsSpeculativeLevel(lvl) != want {
+				t.Errorf("%v: level %d speculative = %v", c.scheme, lvl, !want)
+			}
+		}
+	}
+}
+
+func TestSchemePlacements16x16(t *testing.T) {
+	// Section 5.2(d): 16x16 address sizes are 30 / 20 / 16 bits.
+	m := MustNew(16)
+	if got := MustForScheme(m, NonSpeculative).AddressBits(); got != 30 {
+		t.Errorf("16x16 non-speculative = %d bits, want 30", got)
+	}
+	if got := MustForScheme(m, Hybrid).AddressBits(); got != 20 {
+		t.Errorf("16x16 hybrid = %d bits, want 20", got)
+	}
+	if got := MustForScheme(m, AllSpeculative).AddressBits(); got != 16 {
+		t.Errorf("16x16 all-speculative = %d bits, want 16", got)
+	}
+	// Hybrid 16x16 is Fig 3(d): levels 0 and 2 speculative.
+	p := MustForScheme(m, Hybrid)
+	if p.String() != "S|N|S|N" {
+		t.Errorf("16x16 hybrid placement %q, want S|N|S|N", p.String())
+	}
+}
+
+func TestBaselineAddressBits(t *testing.T) {
+	if got := BaselineAddressBits(MustNew(8)); got != 3 {
+		t.Errorf("8x8 baseline = %d bits, want 3", got)
+	}
+	if got := BaselineAddressBits(MustNew(16)); got != 4 {
+		t.Errorf("16x16 baseline = %d bits, want 4", got)
+	}
+}
+
+func TestFieldIndexDenseAndOrdered(t *testing.T) {
+	m := MustNew(16)
+	p := MustForScheme(m, Hybrid)
+	next := 0
+	for k := 1; k < m.N; k++ {
+		fi, ok := p.FieldIndex(k)
+		if p.IsSpeculative(k) {
+			if ok || fi != -1 {
+				t.Errorf("speculative node %d has field %d", k, fi)
+			}
+			continue
+		}
+		if !ok || fi != next {
+			t.Errorf("node %d field = %d, want %d", k, fi, next)
+		}
+		next++
+	}
+	if next != p.Fields() {
+		t.Errorf("assigned %d fields, Fields() = %d", next, p.Fields())
+	}
+}
+
+func TestTinyMoTDegeneratesToNonSpec(t *testing.T) {
+	m := MustNew(2)
+	for _, s := range []Scheme{NonSpeculative, Hybrid, AllSpeculative} {
+		p, err := ForScheme(m, s)
+		if err != nil {
+			t.Fatalf("%v on 2x2: %v", s, err)
+		}
+		if p.SpeculativeNodes() != 0 {
+			t.Errorf("%v on 2x2 has %d speculative nodes", s, p.SpeculativeNodes())
+		}
+	}
+}
+
+func TestForSchemeUnknown(t *testing.T) {
+	if _, err := ForScheme(MustNew(8), Scheme(99)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if NonSpeculative.String() != "non-speculative" ||
+		Hybrid.String() != "hybrid" ||
+		AllSpeculative.String() != "all-speculative" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(42).String() != "Scheme(42)" {
+		t.Error("unknown scheme formatting wrong")
+	}
+}
+
+func TestDraw(t *testing.T) {
+	m := MustNew(8)
+	p := MustForScheme(m, Hybrid)
+	out := Draw(p)
+	// Root speculative, nodes 2..7 addressable with dense fields.
+	for _, want := range []string{
+		"8x8 MoT fanout tree, placement S|N|N (address bits: 12)",
+		"[S1]",
+		"(N2:f0)",
+		"(N7:f5)",
+		"D0", "D7",
+		"top-> ", "bottom-> ",
+	} {
+		if !containsStr(out, want) {
+			t.Errorf("drawing missing %q:\n%s", want, out)
+		}
+	}
+	// All 8 leaves appear exactly once.
+	for d := 0; d < 8; d++ {
+		if countStr(out, "D"+string(rune('0'+d))+"\n") != 1 {
+			t.Errorf("leaf D%d not drawn exactly once:\n%s", d, out)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool { return strings.Contains(s, sub) }
+func countStr(s, sub string) int     { return strings.Count(s, sub) }

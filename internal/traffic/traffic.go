@@ -1,0 +1,145 @@
+// Package traffic implements the six synthetic benchmarks of Section 5.1:
+// three unicast patterns (uniform random, bit-permutation shuffle,
+// hotspot) and three multicast patterns (Multicast5, Multicast10,
+// Multicast_static). Packet injection times follow an exponential
+// (Poisson) process, driven by the run harness.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/rng"
+)
+
+// Benchmark generates destination sets per injected packet.
+type Benchmark interface {
+	// Name is the benchmark's reporting name.
+	Name() string
+	// NextDests returns the destination set of the next packet injected
+	// by source src. It is never empty.
+	NextDests(src int, r *rng.Source) packet.DestSet
+}
+
+// UniformRandom sends each packet to one uniformly random destination.
+type UniformRandom struct{ N int }
+
+// Name implements Benchmark.
+func (UniformRandom) Name() string { return "UniformRandom" }
+
+// NextDests implements Benchmark.
+func (b UniformRandom) NextDests(_ int, r *rng.Source) packet.DestSet {
+	return packet.Dest(r.Intn(b.N))
+}
+
+// Shuffle is the bit-permutation pattern dest = rotate-left(src): a fixed
+// contention-free permutation that exposes raw pipeline throughput.
+type Shuffle struct{ N int }
+
+// Name implements Benchmark.
+func (Shuffle) Name() string { return "Shuffle" }
+
+// NextDests implements Benchmark.
+func (b Shuffle) NextDests(src int, _ *rng.Source) packet.DestSet {
+	levels := uint(bits.TrailingZeros(uint(b.N)))
+	d := ((src << 1) | (src >> (levels - 1))) & (b.N - 1)
+	return packet.Dest(d)
+}
+
+// Hotspot sends all traffic to one destination, saturating its fanin
+// tree: the highly adversarial case for which the paper reports identical
+// throughput on every network.
+type Hotspot struct {
+	N   int
+	Hot int
+}
+
+// Name implements Benchmark.
+func (Hotspot) Name() string { return "Hotspot" }
+
+// NextDests implements Benchmark.
+func (b Hotspot) NextDests(int, *rng.Source) packet.DestSet {
+	return packet.Dest(b.Hot)
+}
+
+// randomSubset draws a multicast destination set: each destination joins
+// independently with probability 1/2, redrawn until at least two are in
+// (a 1-destination "multicast" is just a unicast).
+func randomSubset(n int, r *rng.Source) packet.DestSet {
+	for {
+		var s packet.DestSet
+		for d := 0; d < n; d++ {
+			if r.Bool(0.5) {
+				s = s.Add(d)
+			}
+		}
+		if s.Count() >= 2 {
+			return s
+		}
+	}
+}
+
+// Multicast injects multicast packets (to random destination subsets) at
+// rate Frac, and uniform-random unicast otherwise. Frac 0.05 and 0.10 are
+// the paper's Multicast5 and Multicast10.
+type Multicast struct {
+	N    int
+	Frac float64
+}
+
+// Name implements Benchmark.
+func (b Multicast) Name() string {
+	return fmt.Sprintf("Multicast%d", int(b.Frac*100+0.5))
+}
+
+// NextDests implements Benchmark.
+func (b Multicast) NextDests(_ int, r *rng.Source) packet.DestSet {
+	if r.Bool(b.Frac) {
+		return randomSubset(b.N, r)
+	}
+	return packet.Dest(r.Intn(b.N))
+}
+
+// MulticastStatic gives the first Sources sources pure random multicast
+// while everyone else sends uniform random unicast (the paper uses 3
+// multicast sources on the 8x8 network).
+type MulticastStatic struct {
+	N       int
+	Sources int
+}
+
+// Name implements Benchmark.
+func (MulticastStatic) Name() string { return "Multicast_static" }
+
+// NextDests implements Benchmark.
+func (b MulticastStatic) NextDests(src int, r *rng.Source) packet.DestSet {
+	if src < b.Sources {
+		return randomSubset(b.N, r)
+	}
+	return packet.Dest(r.Intn(b.N))
+}
+
+// StandardSuite returns the paper's six benchmarks for an n x n MoT, in
+// reporting order.
+func StandardSuite(n int) []Benchmark {
+	return []Benchmark{
+		UniformRandom{N: n},
+		Shuffle{N: n},
+		Hotspot{N: n, Hot: 0},
+		Multicast{N: n, Frac: 0.05},
+		Multicast{N: n, Frac: 0.10},
+		MulticastStatic{N: n, Sources: 3},
+	}
+}
+
+// ByName returns the benchmark with the given reporting name from the
+// standard suite for an n x n MoT.
+func ByName(n int, name string) (Benchmark, error) {
+	for _, b := range StandardSuite(n) {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("traffic: unknown benchmark %q", name)
+}

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/rng"
+)
+
+func TestUniformRandomCoversAllDests(t *testing.T) {
+	b := UniformRandom{N: 8}
+	r := rng.New(1)
+	counts := make([]int, 8)
+	const draws = 8000
+	for i := 0; i < draws; i++ {
+		d := b.NextDests(3, r)
+		if d.Count() != 1 {
+			t.Fatal("uniform random must be unicast")
+		}
+		counts[d.First()]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-draws/8) > 0.15*draws/8 {
+			t.Errorf("dest %d drawn %d times, want ~%d", d, c, draws/8)
+		}
+	}
+}
+
+func TestShuffleIsRotation(t *testing.T) {
+	b := Shuffle{N: 8}
+	want := map[int]int{0: 0, 1: 2, 2: 4, 3: 6, 4: 1, 5: 3, 6: 5, 7: 7}
+	for src, dst := range want {
+		got := b.NextDests(src, nil)
+		if got != packet.Dest(dst) {
+			t.Errorf("shuffle(%d) = %v, want {%d}", src, got, dst)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b := Shuffle{N: n}
+		seen := map[int]bool{}
+		for s := 0; s < n; s++ {
+			d := b.NextDests(s, nil).First()
+			if seen[d] {
+				t.Fatalf("n=%d: dest %d hit twice — not a permutation", n, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestHotspotAlwaysHot(t *testing.T) {
+	b := Hotspot{N: 8, Hot: 3}
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if got := b.NextDests(i%8, r); got != packet.Dest(3) {
+			t.Fatalf("hotspot sent to %v", got)
+		}
+	}
+}
+
+func TestMulticastFraction(t *testing.T) {
+	b := Multicast{N: 8, Frac: 0.10}
+	r := rng.New(5)
+	const draws = 50000
+	mc := 0
+	for i := 0; i < draws; i++ {
+		d := b.NextDests(0, r)
+		if d.Empty() {
+			t.Fatal("empty destination set")
+		}
+		if d.Count() >= 2 {
+			mc++
+		}
+	}
+	frac := float64(mc) / draws
+	if math.Abs(frac-0.10) > 0.01 {
+		t.Errorf("multicast fraction %.3f, want ~0.10", frac)
+	}
+}
+
+func TestMulticastSubsetsAreMulticast(t *testing.T) {
+	b := Multicast{N: 8, Frac: 1.0}
+	r := rng.New(9)
+	for i := 0; i < 1000; i++ {
+		d := b.NextDests(0, r)
+		if d.Count() < 2 {
+			t.Fatalf("multicast subset %v has <2 destinations", d)
+		}
+		if d&^packet.Range(0, 8) != 0 {
+			t.Fatalf("subset %v outside destination range", d)
+		}
+	}
+}
+
+func TestMulticastStaticSplit(t *testing.T) {
+	b := MulticastStatic{N: 8, Sources: 3}
+	r := rng.New(2)
+	for src := 0; src < 8; src++ {
+		for i := 0; i < 200; i++ {
+			d := b.NextDests(src, r)
+			if src < 3 && d.Count() < 2 {
+				t.Fatalf("multicast source %d produced unicast %v", src, d)
+			}
+			if src >= 3 && d.Count() != 1 {
+				t.Fatalf("unicast source %d produced multicast %v", src, d)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Benchmark{
+		"UniformRandom":    UniformRandom{N: 8},
+		"Shuffle":          Shuffle{N: 8},
+		"Hotspot":          Hotspot{N: 8},
+		"Multicast5":       Multicast{N: 8, Frac: 0.05},
+		"Multicast10":      Multicast{N: 8, Frac: 0.10},
+		"Multicast_static": MulticastStatic{N: 8, Sources: 3},
+	}
+	for want, b := range cases {
+		if b.Name() != want {
+			t.Errorf("Name() = %q, want %q", b.Name(), want)
+		}
+	}
+}
+
+func TestStandardSuite(t *testing.T) {
+	suite := StandardSuite(8)
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d benchmarks, want 6", len(suite))
+	}
+	wantOrder := []string{"UniformRandom", "Shuffle", "Hotspot", "Multicast5", "Multicast10", "Multicast_static"}
+	for i, b := range suite {
+		if b.Name() != wantOrder[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, b.Name(), wantOrder[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName(8, "Multicast5")
+	if err != nil || b.Name() != "Multicast5" {
+		t.Errorf("ByName failed: %v", err)
+	}
+	if _, err := ByName(8, "nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a, b := rng.New(42), rng.New(42)
+	bench := Multicast{N: 8, Frac: 0.5}
+	for i := 0; i < 500; i++ {
+		if bench.NextDests(1, a) != bench.NextDests(1, b) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDCode(t *testing.T) {
+	if idCode(0) != "!" {
+		t.Errorf("idCode(0) = %q", idCode(0))
+	}
+	if idCode(93) != "~" {
+		t.Errorf("idCode(93) = %q", idCode(93))
+	}
+	if idCode(94) != "!!" {
+		t.Errorf("idCode(94) = %q", idCode(94))
+	}
+	// Uniqueness over a useful range.
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate id %q at %d", c, i)
+		}
+		seen[c] = true
+	}
+}
+
+func TestBasicDump(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	a := w.AddWire("top", "req", 1)
+	b := w.AddWire("top", "count", 8)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetTime(100); err != nil {
+		t.Fatal(err)
+	}
+	a.Set(1)
+	b.Set(5)
+	if err := w.SetTime(250); err != nil {
+		t.Fatal(err)
+	}
+	a.Toggle()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := []string{
+		"$timescale 1ps $end",
+		"$scope module top $end",
+		"$var wire 1 ! req $end",
+		"$var wire 8 \" count $end",
+		"$enddefinitions $end",
+		"#100",
+		"1!",
+		"b101 \"",
+		"#250",
+		"0!",
+	}
+	for _, s := range want {
+		if !strings.Contains(out, s) {
+			t.Errorf("dump missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestUnchangedValueSuppressed(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	a := w.AddWire("top", "x", 1)
+	_ = w.Begin()
+	_ = w.SetTime(10)
+	a.Set(1)
+	_ = w.SetTime(20)
+	a.Set(1) // no change
+	_ = w.Close()
+	out := sb.String()
+	if strings.Count(out, "1!") != 1 {
+		t.Errorf("unchanged value re-emitted:\n%s", out)
+	}
+	// #20 is still printed (time marker), but that's harmless.
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.AddWire("top", "x", 1)
+	_ = w.Begin()
+	if err := w.SetTime(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetTime(100); err != nil {
+		t.Errorf("same timestamp rejected: %v", err)
+	}
+	if err := w.SetTime(99); err == nil {
+		t.Error("backwards time accepted")
+	}
+}
+
+func TestSetTimeBeforeBegin(t *testing.T) {
+	w := NewWriter(&strings.Builder{})
+	if err := w.SetTime(1); err == nil {
+		t.Error("SetTime before Begin accepted")
+	}
+}
+
+func TestAddWireValidation(t *testing.T) {
+	w := NewWriter(&strings.Builder{})
+	for _, width := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d accepted", width)
+				}
+			}()
+			w.AddWire("s", "x", width)
+		}()
+	}
+	_ = w.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddWire after Begin accepted")
+		}
+	}()
+	w.AddWire("s", "late", 1)
+}
+
+func TestScopesSortedAndClosed(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.AddWire("zeta", "a", 1)
+	w.AddWire("alpha", "b", 1)
+	_ = w.Begin()
+	_ = w.Close()
+	out := sb.String()
+	if strings.Index(out, "module alpha") > strings.Index(out, "module zeta") {
+		t.Error("scopes not sorted")
+	}
+	if strings.Count(out, "$scope") != strings.Count(out, "$upscope") {
+		t.Error("unbalanced scopes")
+	}
+}
+
+func TestInitialDumpvars(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.AddWire("top", "x", 1)
+	w.AddWire("top", "v", 4)
+	_ = w.Begin()
+	_ = w.Close()
+	out := sb.String()
+	if !strings.Contains(out, "$dumpvars") {
+		t.Error("missing $dumpvars block")
+	}
+	if !strings.Contains(out, "0!") || !strings.Contains(out, "b0 \"") {
+		t.Errorf("initial values not dumped:\n%s", out)
+	}
+}
