@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race ci experiments clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: vet, build, and the full suite under the race detector
+# (the engine determinism and property tests are included).
+ci: vet build race
+
+# experiments regenerates the paper's tables at CI scale.
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	$(GO) clean ./...

@@ -201,6 +201,31 @@ func BenchmarkByName(n int, name string) (Benchmark, error) { return traffic.ByN
 // Run executes one simulation and returns its measurements.
 func Run(spec NetworkSpec, cfg RunConfig) (RunResult, error) { return core.Run(spec, cfg) }
 
+// Engine is the parallel experiment engine: a bounded worker pool with a
+// keyed LRU result memo. Every simulation is a pure function of
+// (spec, config), so the engine fans independent runs out across
+// workers, deduplicates equal runs, and always returns results in job
+// order — outputs are bit-identical to serial execution. Saturation,
+// LoadSweep, and RunSeeds have Engine methods of the same shapes; the
+// package-level functions use a shared default engine sized by the
+// ASYNCNOC_WORKERS environment variable (default GOMAXPROCS).
+type Engine = core.Engine
+
+// Job is one engine work unit: a single simulation run.
+type Job = core.Job
+
+// NewEngine returns an engine with the given worker-pool size;
+// workers <= 0 selects DefaultWorkers().
+func NewEngine(workers int) *Engine { return core.NewEngine(workers) }
+
+// DefaultWorkers resolves the default pool size: ASYNCNOC_WORKERS if set
+// to a positive integer, otherwise GOMAXPROCS.
+func DefaultWorkers() int { return core.DefaultWorkers() }
+
+// JobKey returns the canonical hash of a (spec, config) pair; equal keys
+// identify runs that are deterministic replays of each other.
+func JobKey(spec NetworkSpec, cfg RunConfig) string { return core.JobKey(spec, cfg) }
+
 // Build constructs an instrumentable network with injection processes
 // armed and windows set; drive it with nw.Sched and extract measurements
 // with Collect.

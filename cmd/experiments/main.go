@@ -9,6 +9,12 @@
 //
 // With -quick the measurement windows shrink to CI scale (~seconds);
 // without it the paper-scale windows run in a few minutes.
+//
+// Independent simulations run through the shared experiment engine: a
+// bounded worker pool (-workers, or the ASYNCNOC_WORKERS environment
+// variable; default GOMAXPROCS) with a memo that computes measurement
+// points shared between tables only once. Results are consumed in
+// deterministic order, so the tables are bit-identical at any pool size.
 package main
 
 import (
@@ -25,7 +31,7 @@ func main() {
 	var (
 		quick   = flag.Bool("quick", false, "CI-scale measurement windows")
 		seed    = flag.Uint64("seed", 2016, "random seed")
-		workers = flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
 		sats    = flag.Bool("satloads", false, "also print the raw saturation loads")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		n       = flag.Int("n", 8, "MoT radix (the paper evaluates 8; 16 explores the future-work size)")
@@ -80,6 +86,9 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("regenerated all experiments in %.1fs\n", time.Since(start).Seconds())
+	hits, misses := s.Engine().Stats()
+	fmt.Fprintf(os.Stderr, "engine: %d unique simulations, %d memo hits, %d workers\n",
+		misses, hits, s.Engine().Workers())
 }
 
 func check(err error) {

@@ -3,6 +3,10 @@
 // each network's load grid, then every grid point is simulated.
 //
 //	loadsweep -bench Multicast10 -points 8
+//
+// Simulations run on the parallel experiment engine (-workers, or the
+// ASYNCNOC_WORKERS environment variable; default GOMAXPROCS); the curve
+// is identical at any pool size.
 package main
 
 import (
@@ -22,9 +26,11 @@ func main() {
 		points    = flag.Int("points", 8, "grid points up to max fraction of saturation")
 		maxFrac   = flag.Float64("maxfrac", 0.95, "highest load as a fraction of saturation")
 		seed      = flag.Uint64("seed", 7, "random seed")
+		workers   = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	eng := asyncnoc.NewEngine(*workers)
 	bench, err := asyncnoc.BenchmarkByName(*n, *benchName)
 	if err != nil {
 		fatal(err)
@@ -40,7 +46,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		pts, err := asyncnoc.LoadSweep(spec, base, *points, *maxFrac)
+		pts, err := eng.LoadSweep(spec, base, *points, *maxFrac)
 		if err != nil {
 			fatal(err)
 		}

@@ -8,7 +8,10 @@
 //
 // Loads are offered gigaflits per second per source; windows are in
 // nanoseconds. With -sat the tool searches for the saturation throughput
-// instead of running at a fixed load.
+// instead of running at a fixed load; the search's probes run through
+// the parallel experiment engine with speculative bisection (-workers,
+// or the ASYNCNOC_WORKERS environment variable; default GOMAXPROCS) and
+// find the same boundary at any pool size.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 		measure     = flag.Int("measure", 3200, "measurement window (ns)")
 		drain       = flag.Int("drain", 800, "drain window (ns)")
 		sat         = flag.Bool("sat", false, "search for saturation throughput instead of a fixed-load run")
+		workers     = flag.Int("workers", 0, "saturation-search parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
 		list        = flag.Bool("list", false, "list network and benchmark names")
 		vcdPath     = flag.String("vcd", "", "dump handshake activity to this VCD file")
 		util        = flag.Bool("util", false, "print per-level fanout utilization after the run")
@@ -76,7 +80,7 @@ func main() {
 	}
 
 	if *sat {
-		res, err := asyncnoc.Saturation(spec, asyncnoc.SatConfig{Base: cfg})
+		res, err := asyncnoc.NewEngine(*workers).Saturation(spec, asyncnoc.SatConfig{Base: cfg})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,244 @@
+// Experiment engine: a bounded worker pool with deterministic result
+// ordering and a keyed LRU memo.
+//
+// Every simulation in this model is a pure function of (network spec,
+// run configuration): all randomness flows from RunConfig.Seed and each
+// run owns its scheduler, recorder, and meter. That purity makes two
+// things safe that the serial harness could not exploit:
+//
+//   - parallel fan-out: independent runs execute concurrently on a
+//     bounded pool without changing any result, and
+//   - memoization: a (spec, config) pair revisited by a saturation
+//     bisection, a load sweep re-running its anchor load, or two tables
+//     sharing a measurement point is computed exactly once.
+//
+// Results are always returned in job order (never completion order), so
+// every consumer's output is bit-identical to the serial path.
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"asyncnoc/internal/network"
+)
+
+// WorkersEnv is the environment variable consulted for the default pool
+// size when a caller does not set one explicitly (flags win over env).
+const WorkersEnv = "ASYNCNOC_WORKERS"
+
+// DefaultWorkers resolves the default pool size: ASYNCNOC_WORKERS if set
+// to a positive integer, otherwise runtime.GOMAXPROCS(0).
+func DefaultWorkers() int {
+	if v := os.Getenv(WorkersEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DefaultMemoCapacity bounds the engine's result memo. A RunResult is a
+// few hundred bytes, so even the full evaluation suite (a few thousand
+// simulations) fits comfortably.
+const DefaultMemoCapacity = 4096
+
+// Job is one unit of engine work: a single simulation run.
+type Job struct {
+	Spec network.Spec
+	Cfg  RunConfig
+}
+
+// JobKey returns the canonical hash of a (spec, config) pair: equal keys
+// mean the runs are replays of each other. Every spec field and every
+// config field participates, and the benchmark is serialized with its
+// concrete type and parameters (two benchmarks sharing a reporting name
+// but differing in, say, the hotspot destination hash differently).
+func JobKey(spec network.Spec, cfg RunConfig) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "spec|%s|%d|%d|%d|%v|%d|%d|%v|%d|%d",
+		spec.Name, spec.N, spec.PacketLen, spec.Scheme, spec.SpecLevels,
+		spec.SpecKind, spec.NonSpecKind, spec.Serial, spec.Protocol, spec.SyncPeriod)
+	fmt.Fprintf(h, "|cfg|%#v|%s|%d|%d|%d|%d",
+		cfg.Bench, strconv.FormatFloat(cfg.LoadGFs, 'x', -1, 64),
+		cfg.Seed, cfg.Warmup, cfg.Measure, cfg.Drain)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// memoEntry is one memo slot. done is closed once res/err are final;
+// waiters block on it without holding the engine lock or a pool slot.
+type memoEntry struct {
+	key  string
+	res  RunResult
+	err  error
+	done chan struct{}
+	elem *list.Element
+}
+
+func (e *memoEntry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Engine executes simulation runs on a bounded worker pool with a keyed
+// LRU memo. The zero value is not usable; construct with NewEngine. An
+// Engine is safe for concurrent use.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+
+	mu    sync.Mutex
+	memo  map[string]*memoEntry
+	order *list.List // front = most recently used
+	cap   int
+
+	hits, misses uint64
+}
+
+// NewEngine returns an engine with the given pool size; workers <= 0
+// selects DefaultWorkers() (ASYNCNOC_WORKERS or GOMAXPROCS).
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		memo:    make(map[string]*memoEntry),
+		order:   list.New(),
+		cap:     DefaultMemoCapacity,
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetMemoCapacity rebounds the LRU memo (entries beyond the new capacity
+// are evicted oldest-first); capacity < 1 disables memoization of new
+// results.
+func (e *Engine) SetMemoCapacity(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cap = n
+	e.evictLocked()
+}
+
+// Stats returns the memo hit and miss counts (diagnostics and tests).
+func (e *Engine) Stats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+// evictLocked drops completed entries from the LRU tail until the memo
+// fits the capacity. In-flight entries are never evicted: waiters hold
+// them for deduplication.
+func (e *Engine) evictLocked() {
+	for el := e.order.Back(); el != nil && e.order.Len() > e.cap; {
+		prev := el.Prev()
+		ent := el.Value.(*memoEntry)
+		if ent.completed() {
+			e.order.Remove(el)
+			delete(e.memo, ent.key)
+		}
+		el = prev
+	}
+}
+
+// Run executes one simulation through the pool and memo: if an equal
+// (spec, config) pair is cached or in flight its result is shared,
+// otherwise the run computes under a pool slot. Determinism of the
+// simulator makes the shared result identical to a fresh computation.
+func (e *Engine) Run(spec network.Spec, cfg RunConfig) (RunResult, error) {
+	ent, compute := e.claim(JobKey(spec, cfg))
+	if compute {
+		e.sem <- struct{}{}
+		ent.res, ent.err = Run(spec, cfg)
+		<-e.sem
+		close(ent.done)
+	} else {
+		<-ent.done
+	}
+	return ent.res, ent.err
+}
+
+// claim looks the key up, registering a fresh in-flight entry on a miss.
+// It reports whether the caller must compute the entry.
+func (e *Engine) claim(key string) (*memoEntry, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.memo[key]; ok {
+		e.hits++
+		e.order.MoveToFront(ent.elem)
+		return ent, false
+	}
+	e.misses++
+	ent := &memoEntry{key: key, done: make(chan struct{})}
+	ent.elem = e.order.PushFront(ent)
+	e.memo[key] = ent
+	e.evictLocked()
+	return ent, true
+}
+
+// Speculate warms the memo asynchronously: each job is computed on the
+// pool if absent, and its result (or error) parks in the memo for a
+// later Run. On a single-worker pool this is a no-op — speculation there
+// could only steal the slot from demanded work.
+func (e *Engine) Speculate(jobs ...Job) {
+	if e.workers <= 1 {
+		return
+	}
+	for _, j := range jobs {
+		j := j
+		go func() { _, _ = e.Run(j.Spec, j.Cfg) }() //nolint:errcheck // parked in the memo
+	}
+}
+
+// RunJobs executes every job through the pool and returns the results in
+// job order regardless of completion order. The returned error is the
+// first failing job's (by job order), so error reporting is as
+// deterministic as the results.
+func (e *Engine) RunJobs(jobs []Job) ([]RunResult, error) {
+	results := make([]RunResult, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = e.Run(j.Spec, j.Cfg)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// defaultEngine is the shared process-wide engine behind the package-
+// level Saturation, LoadSweep, and RunSeeds entry points.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the lazily constructed shared engine
+// (DefaultWorkers pool size, default memo capacity).
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine(0) })
+	return defaultEngine
+}

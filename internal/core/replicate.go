@@ -25,20 +25,31 @@ type Replicated struct {
 }
 
 // RunSeeds executes the configuration once per seed (cfg.Seed is
-// replaced) and aggregates the results.
+// replaced) and aggregates the results, on the shared default engine.
 func RunSeeds(spec network.Spec, cfg RunConfig, seeds []uint64) (Replicated, error) {
+	return DefaultEngine().RunSeeds(spec, cfg, seeds)
+}
+
+// RunSeeds executes the configuration once per seed (cfg.Seed is
+// replaced) concurrently on the pool and aggregates the results in seed
+// order, so the aggregate is independent of completion order.
+func (e *Engine) RunSeeds(spec network.Spec, cfg RunConfig, seeds []uint64) (Replicated, error) {
 	if len(seeds) == 0 {
 		return Replicated{}, fmt.Errorf("core: RunSeeds needs at least one seed")
 	}
-	var lat, thr, pwr, cmp []float64
-	out := Replicated{Seeds: len(seeds)}
-	for _, seed := range seeds {
+	jobs := make([]Job, len(seeds))
+	for i, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		r, err := Run(spec, c)
-		if err != nil {
-			return Replicated{}, err
-		}
+		jobs[i] = Job{Spec: spec, Cfg: c}
+	}
+	results, err := e.RunJobs(jobs)
+	if err != nil {
+		return Replicated{}, err
+	}
+	var lat, thr, pwr, cmp []float64
+	out := Replicated{Seeds: len(seeds)}
+	for _, r := range results {
 		out.Network, out.Benchmark = r.Network, r.Benchmark
 		out.Runs = append(out.Runs, r)
 		lat = append(lat, r.AvgLatencyNs)

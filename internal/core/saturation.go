@@ -71,19 +71,51 @@ type SatResult struct {
 }
 
 // Saturation searches for the saturation throughput of one network under
-// one benchmark.
+// one benchmark on the shared default engine.
 func Saturation(spec network.Spec, cfg SatConfig) (SatResult, error) {
-	return SaturationWith(spec.Name, cfg, func(load float64) (RunResult, error) {
-		c := cfg.Base
-		c.LoadGFs = load
-		return Run(spec, c)
-	})
+	return DefaultEngine().Saturation(spec, cfg)
 }
 
-// SaturationWith runs the saturation search against an arbitrary runner
-// (the mesh substrate reuses it); name labels error messages.
+// Saturation runs the saturation search through the engine: every probe
+// is memoized, and the bisection is speculative — while the current
+// midpoint runs, both candidate midpoints of the next level are already
+// computing on idle pool workers, so the next iteration's probe is a
+// memo hit whichever way the bisection branches. The search visits the
+// same loads and returns the same result as the serial path.
+func (e *Engine) Saturation(spec network.Spec, cfg SatConfig) (SatResult, error) {
+	cfgAt := func(load float64) RunConfig {
+		c := cfg.Base
+		c.LoadGFs = load
+		return c
+	}
+	return saturationSearch(spec.Name, cfg,
+		func(load float64) (RunResult, error) { return e.Run(spec, cfgAt(load)) },
+		func(loads ...float64) {
+			jobs := make([]Job, len(loads))
+			for i, l := range loads {
+				jobs[i] = Job{Spec: spec, Cfg: cfgAt(l)}
+			}
+			e.Speculate(jobs...)
+		})
+}
+
+// SaturationWith runs the saturation search against an arbitrary serial
+// runner (the mesh substrate reuses it); name labels error messages.
 func SaturationWith(name string, cfg SatConfig, run func(load float64) (RunResult, error)) (SatResult, error) {
+	return saturationSearch(name, cfg, run, nil)
+}
+
+// saturationSearch is the search shared by the serial and engine entry
+// points. speculate, when non-nil, is handed the loads the next step
+// *might* probe — a pure memo warm-up that must not affect any result.
+func saturationSearch(name string, cfg SatConfig, run func(load float64) (RunResult, error),
+	speculate func(loads ...float64)) (SatResult, error) {
 	cfg.defaults()
+	if speculate == nil {
+		speculate = func(...float64) {}
+	}
+	// The first probe after the zero-load anchor is always StartLoad.
+	speculate(cfg.StartLoad)
 	zero, err := run(cfg.ZeroLoadGFs)
 	if err != nil {
 		return SatResult{}, err
@@ -100,6 +132,10 @@ func SaturationWith(name string, cfg SatConfig, run func(load float64) (RunResul
 	var loRes RunResult
 	// Grow hi until it saturates (or the cap is hit).
 	for {
+		// Whichever way this probe goes, the next one is either the
+		// doubled load (still stable) or the first bisection midpoint
+		// (saturated): evaluate both candidates concurrently.
+		speculate(growNext(hi, cfg.MaxLoad), (lo+hi)/2)
 		r, err := run(hi)
 		if err != nil {
 			return SatResult{}, err
@@ -124,6 +160,11 @@ func SaturationWith(name string, cfg SatConfig, run func(load float64) (RunResul
 	// Bisect the boundary.
 	for i := 0; i < cfg.Iters; i++ {
 		mid := (lo + hi) / 2
+		if i+1 < cfg.Iters {
+			// Speculative bisection: the next midpoint is (lo+mid)/2 if
+			// mid saturates and (mid+hi)/2 otherwise — run both now.
+			speculate((lo+mid)/2, (mid+hi)/2)
+		}
 		r, err := run(mid)
 		if err != nil {
 			return SatResult{}, err
@@ -147,4 +188,14 @@ func SaturationWith(name string, cfg SatConfig, run func(load float64) (RunResul
 		ZeroLoadLatencyNs: zero.AvgLatencyNs,
 		AtSaturation:      loRes,
 	}, nil
+}
+
+// growNext returns the load the grow phase will probe if hi turns out
+// stable: the doubled load, clamped to the cap.
+func growNext(hi, max float64) float64 {
+	next := hi * 2
+	if next > max {
+		next = max
+	}
+	return next
 }

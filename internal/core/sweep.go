@@ -28,29 +28,40 @@ func LoadGrid(satLoad float64, points int, maxFraction float64) []float64 {
 }
 
 // LoadSweep measures the latency-throughput curve of one network under
-// one benchmark: a saturation search anchors the grid, then each load
-// fraction runs with the base windows.
+// one benchmark on the shared default engine.
 func LoadSweep(spec network.Spec, base RunConfig, points int, maxFraction float64) ([]SweepPoint, error) {
+	return DefaultEngine().LoadSweep(spec, base, points, maxFraction)
+}
+
+// LoadSweep measures the latency-throughput curve of one network under
+// one benchmark: a saturation search anchors the grid, then every grid
+// point runs concurrently on the pool. Grid points that coincide with
+// saturation probes (the anchor load in particular) are memo hits.
+func (e *Engine) LoadSweep(spec network.Spec, base RunConfig, points int, maxFraction float64) ([]SweepPoint, error) {
 	if points < 1 {
 		return nil, fmt.Errorf("core: sweep needs at least one point")
 	}
-	sat, err := Saturation(spec, SatConfig{Base: base})
+	sat, err := e.Saturation(spec, SatConfig{Base: base})
 	if err != nil {
 		return nil, err
 	}
 	grid := LoadGrid(sat.SatLoadGFs, points, maxFraction)
-	out := make([]SweepPoint, 0, len(grid))
+	jobs := make([]Job, len(grid))
 	for i, load := range grid {
 		cfg := base
 		cfg.LoadGFs = load
-		res, err := Run(spec, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
+		jobs[i] = Job{Spec: spec, Cfg: cfg}
+	}
+	results, err := e.RunJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(grid))
+	for i, res := range results {
+		out[i] = SweepPoint{
 			FractionOfSat: maxFraction * float64(i+1) / float64(points),
 			Result:        res,
-		})
+		}
 	}
 	return out, nil
 }

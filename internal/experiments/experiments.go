@@ -5,13 +5,17 @@
 // addressing-scheme comparison (Section 5.2(d)).
 //
 // A Suite memoizes the expensive saturation searches (each figure and
-// table reuses them) and runs independent simulations on a bounded worker
-// pool — every simulation owns its scheduler, so parallelism is safe.
+// table reuses them) and executes every independent simulation through a
+// shared core.Engine — a bounded worker pool with a keyed result memo —
+// so measurement points shared between tables (Fig. 6(a)/6(b) rows, the
+// Table 1 power runs that coincide with latency runs) are computed once.
+// Every simulation owns its scheduler, so parallelism is safe, and
+// results are consumed in deterministic order, so the emitted tables are
+// bit-identical to a serial evaluation.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -82,11 +86,15 @@ type Suite struct {
 	LatWarmup, LatMeasure, LatDrain sim.Time
 	// SatIters is the bisection depth of the saturation search.
 	SatIters int
-	// Workers bounds simulation parallelism (default: GOMAXPROCS).
+	// Workers bounds simulation parallelism (default: ASYNCNOC_WORKERS
+	// or GOMAXPROCS). Set before the first measurement call.
 	Workers int
 
 	mu   sync.Mutex
 	sats map[string]core.SatResult
+
+	engOnce sync.Once
+	eng     *core.Engine
 }
 
 // NewSuite returns a suite configured for full (paper-scale) or quick
@@ -109,11 +117,11 @@ func NewSuite(quick bool) *Suite {
 	return s
 }
 
-func (s *Suite) workers() int {
-	if s.Workers > 0 {
-		return s.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+// Engine returns the suite's shared experiment engine, constructed on
+// first use with the configured worker count.
+func (s *Suite) Engine() *core.Engine {
+	s.engOnce.Do(func() { s.eng = core.NewEngine(s.Workers) })
+	return s.eng
 }
 
 // satBase returns the saturation-search run template for a benchmark.
@@ -133,7 +141,7 @@ func (s *Suite) Sat(spec network.Spec, bench traffic.Benchmark) (core.SatResult,
 		return r, nil
 	}
 	s.mu.Unlock()
-	r, err := core.Saturation(spec, core.SatConfig{Base: s.satBase(bench), Iters: s.SatIters})
+	r, err := s.Engine().Saturation(spec, core.SatConfig{Base: s.satBase(bench), Iters: s.SatIters})
 	if err != nil {
 		return core.SatResult{}, err
 	}
@@ -143,104 +151,88 @@ func (s *Suite) Sat(spec network.Spec, bench traffic.Benchmark) (core.SatResult,
 	return r, nil
 }
 
-// Prefetch computes the saturation results of all (spec, bench) pairs on
-// the worker pool, so subsequent table builds hit the memo.
+// Prefetch computes the saturation results of all (spec, bench) pairs
+// concurrently — each search's simulations run on the engine's pool — so
+// subsequent table builds hit the memo. The returned error is the first
+// failing pair's in (spec, bench) order.
 func (s *Suite) Prefetch(specs []network.Spec, benches []traffic.Benchmark) error {
-	type job struct {
-		spec  network.Spec
-		bench traffic.Benchmark
-	}
-	jobs := make(chan job)
-	errs := make(chan error, len(specs)*len(benches))
+	errs := make([]error, len(specs)*len(benches))
 	var wg sync.WaitGroup
-	for w := 0; w < s.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if _, err := s.Sat(j.spec, j.bench); err != nil {
-					errs <- fmt.Errorf("%s/%s: %w", j.spec.Name, j.bench.Name(), err)
-				}
-			}
-		}()
-	}
-	for _, spec := range specs {
-		for _, bench := range benches {
-			jobs <- job{spec, bench}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
-	}
-	return nil
-}
-
-// latencyAtQuarter measures average latency at 25% of the pair's own
-// saturation load (the Fig. 6 methodology).
-func (s *Suite) latencyAtQuarter(spec network.Spec, bench traffic.Benchmark) (core.RunResult, error) {
-	sat, err := s.Sat(spec, bench)
-	if err != nil {
-		return core.RunResult{}, err
-	}
-	cfg := core.RunConfig{
-		Bench: bench, Seed: s.Seed, LoadGFs: 0.25 * sat.SatLoadGFs,
-		Warmup: s.LatWarmup, Measure: s.LatMeasure, Drain: s.LatDrain,
-	}
-	return core.Run(spec, cfg)
-}
-
-// powerAtBaselineQuarter measures power at 25% of the *Baseline*
-// network's saturation for the benchmark — the Table 1 power
-// methodology, which uses one common injection rate per benchmark for a
-// normalized energy-per-packet comparison.
-func (s *Suite) powerAtBaselineQuarter(spec network.Spec, bench traffic.Benchmark) (core.RunResult, error) {
-	sat, err := s.Sat(core.Baseline(s.N), bench)
-	if err != nil {
-		return core.RunResult{}, err
-	}
-	cfg := core.RunConfig{
-		Bench: bench, Seed: s.Seed, LoadGFs: 0.25 * sat.SatLoadGFs,
-		Warmup: s.LatWarmup, Measure: s.LatMeasure, Drain: s.LatDrain,
-	}
-	return core.Run(spec, cfg)
-}
-
-// runMatrix evaluates fn for every (spec, bench) pair in parallel and
-// collects the results keyed by pair.
-func (s *Suite) runMatrix(specs []network.Spec, benches []traffic.Benchmark,
-	fn func(network.Spec, traffic.Benchmark) (core.RunResult, error)) (map[string]core.RunResult, error) {
-	type item struct {
-		key string
-		res core.RunResult
-		err error
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.workers())
-	out := make(chan item, len(specs)*len(benches))
-	for _, spec := range specs {
-		for _, bench := range benches {
-			spec, bench := spec, bench
+	for i, spec := range specs {
+		for j, bench := range benches {
+			i, j, spec, bench := i, j, spec, bench
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				res, err := fn(spec, bench)
-				out <- item{spec.Name + "|" + bench.Name(), res, err}
+				if _, err := s.Sat(spec, bench); err != nil {
+					errs[i*len(benches)+j] = fmt.Errorf("%s/%s: %w", spec.Name, bench.Name(), err)
+				}
 			}()
 		}
 	}
 	wg.Wait()
-	close(out)
-	results := make(map[string]core.RunResult)
-	for it := range out {
-		if it.err != nil {
-			return nil, it.err
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
-		results[it.key] = it.res
+	}
+	return nil
+}
+
+// latencyAtQuarter is the Fig. 6 measurement config: 25% of the pair's
+// own saturation load (the saturation search must already be memoized or
+// is computed on demand).
+func (s *Suite) latencyAtQuarter(spec network.Spec, bench traffic.Benchmark) (core.RunConfig, error) {
+	sat, err := s.Sat(spec, bench)
+	if err != nil {
+		return core.RunConfig{}, err
+	}
+	return core.RunConfig{
+		Bench: bench, Seed: s.Seed, LoadGFs: 0.25 * sat.SatLoadGFs,
+		Warmup: s.LatWarmup, Measure: s.LatMeasure, Drain: s.LatDrain,
+	}, nil
+}
+
+// powerAtBaselineQuarter is the Table 1 power measurement config: 25% of
+// the *Baseline* network's saturation for the benchmark — one common
+// injection rate per benchmark for a normalized energy-per-packet
+// comparison.
+func (s *Suite) powerAtBaselineQuarter(spec network.Spec, bench traffic.Benchmark) (core.RunConfig, error) {
+	sat, err := s.Sat(core.Baseline(s.N), bench)
+	if err != nil {
+		return core.RunConfig{}, err
+	}
+	return core.RunConfig{
+		Bench: bench, Seed: s.Seed, LoadGFs: 0.25 * sat.SatLoadGFs,
+		Warmup: s.LatWarmup, Measure: s.LatMeasure, Drain: s.LatDrain,
+	}, nil
+}
+
+// runMatrix builds one run config per (spec, bench) pair, executes them
+// all on the engine, and collects the results keyed by pair. Coinciding
+// configs across matrices (e.g. a network appearing in both Fig. 6
+// tables) are engine memo hits.
+func (s *Suite) runMatrix(specs []network.Spec, benches []traffic.Benchmark,
+	cfgFor func(network.Spec, traffic.Benchmark) (core.RunConfig, error)) (map[string]core.RunResult, error) {
+	var jobs []core.Job
+	var keys []string
+	for _, spec := range specs {
+		for _, bench := range benches {
+			cfg, err := cfgFor(spec, bench)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, core.Job{Spec: spec, Cfg: cfg})
+			keys = append(keys, spec.Name+"|"+bench.Name())
+		}
+	}
+	runs, err := s.Engine().RunJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[string]core.RunResult, len(runs))
+	for i, r := range runs {
+		results[keys[i]] = r
 	}
 	return results, nil
 }

@@ -80,6 +80,9 @@ func (n *Fanin) ConnectInput(port int, ch *Channel) { n.in[port] = ch }
 // ConnectOutput attaches the downstream channel.
 func (n *Fanin) ConnectOutput(ch *Channel) { n.out = ch }
 
+// OutputChannel exposes the downstream channel (tests and diagnostics).
+func (n *Fanin) OutputChannel() *Channel { return n.out }
+
 // OnFlit implements Sink.
 func (n *Fanin) OnFlit(port int, f packet.Flit) {
 	if n.pending[port] != nil {

@@ -1,0 +1,86 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asyncnoc/internal/rng"
+	"asyncnoc/internal/sim"
+)
+
+// TestMeterConservation: for random event sequences, the meter's total
+// energy equals an independently kept ledger of per-event charges — the
+// per-node input/port shares, per-channel flights, and interface
+// operations — with out-of-window events contributing nothing.
+func TestMeterConservation(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		var now sim.Time
+		m := NewMeter(func() sim.Time { return now })
+		winStart := sim.Time(r.Intn(100))
+		winEnd := winStart + sim.Time(1+r.Intn(1000))
+		m.SetWindow(winStart, winEnd)
+
+		var ledger float64
+		var wantFwd, wantAbs, wantCh, wantIf int64
+		events := 50 + r.Intn(200)
+		for i := 0; i < events; i++ {
+			now = sim.Time(r.Intn(1200))
+			in := now >= winStart && now < winEnd
+			switch r.Intn(4) {
+			case 0:
+				area := 100 + 400*r.Float64()
+				ports := r.Intn(3)
+				m.NodeForward(area, ports)
+				if in {
+					wantFwd++
+					ledger += area * m.Model.PJPerUm2 *
+						(m.Model.InputFraction + m.Model.PortFraction*float64(ports))
+				}
+			case 1:
+				area := 100 + 400*r.Float64()
+				m.NodeAbsorb(area)
+				if in {
+					wantAbs++
+					ledger += area * m.Model.PJPerUm2 * m.Model.InputFraction
+				}
+			case 2:
+				m.Channel()
+				if in {
+					wantCh++
+					ledger += m.Model.ChannelPJ
+				}
+			default:
+				m.Interface()
+				if in {
+					wantIf++
+					ledger += m.Model.InterfacePJ
+				}
+			}
+		}
+		gotFwd, gotAbs, gotCh, gotIf := m.Counters()
+		if gotFwd != wantFwd || gotAbs != wantAbs || gotCh != wantCh || gotIf != wantIf {
+			t.Logf("seed %d: counters (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				seed, gotFwd, gotAbs, gotCh, gotIf, wantFwd, wantAbs, wantCh, wantIf)
+			return false
+		}
+		if diff := math.Abs(m.EnergyPJ() - ledger); diff > 1e-9*(1+ledger) {
+			t.Logf("seed %d: meter %.12f pJ, ledger %.12f pJ", seed, m.EnergyPJ(), ledger)
+			return false
+		}
+		// Power is the windowed energy rate plus background burn.
+		m.BackgroundMW = r.Float64()
+		want := m.BackgroundMW + ledger/(winEnd-winStart).Nanoseconds()
+		if diff := math.Abs(m.PowerMW() - want); diff > 1e-9*(1+want) {
+			t.Logf("seed %d: power %.12f mW, want %.12f mW", seed, m.PowerMW(), want)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(20160607))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/rng"
+	"asyncnoc/internal/topology"
+)
+
+// quickCfg keeps the property tests deterministic and bounded.
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(20160606))}
+}
+
+// randomArch derives a random architecture from a seed: a MoT radix in
+// {2,4,8,16} and a random per-level speculation vector (last level
+// always non-speculative, as the placement requires).
+func randomArch(seed uint64) (*topology.MoT, *topology.Placement) {
+	r := rng.New(seed)
+	n := 2 << uint(r.Intn(4)) // 2, 4, 8, 16
+	m := topology.MustNew(n)
+	levels := make([]bool, m.Levels)
+	for i := 0; i < m.Levels-1; i++ {
+		levels[i] = r.Bool(0.5)
+	}
+	p, err := topology.NewPlacement(m, levels)
+	if err != nil {
+		panic(err)
+	}
+	return m, p
+}
+
+// randomDests draws a random non-empty destination set over [0, n).
+func randomDests(r *rng.Source, n int) packet.DestSet {
+	for {
+		var s packet.DestSet
+		for d := 0; d < n; d++ {
+			if r.Bool(0.4) {
+				s = s.Add(d)
+			}
+		}
+		if !s.Empty() {
+			return s
+		}
+	}
+}
+
+// decodeWalk replays the network's forwarding behavior on an encoded
+// route: speculative nodes broadcast unconditionally, addressable nodes
+// follow their 2-bit symbol, SymNone throttles. It returns the delivered
+// destination set and the heap indices where copies were throttled.
+func decodeWalk(p *topology.Placement, route uint64) (packet.DestSet, []int) {
+	m := p.MoT()
+	var delivered packet.DestSet
+	var throttled []int
+	var walk func(k int)
+	walk = func(k int) {
+		sym := NodeSymbol(p, k, route)
+		if sym == SymNone {
+			throttled = append(throttled, k)
+			return
+		}
+		for _, port := range []topology.Port{topology.Top, topology.Bottom} {
+			if !sym.Wants(port) {
+				continue
+			}
+			c := m.Child(k, port)
+			if c >= m.N {
+				delivered = delivered.Add(c - m.N)
+				continue
+			}
+			walk(c)
+		}
+	}
+	walk(1)
+	return delivered, throttled
+}
+
+// TestEncodeDecodeRoundTrip: over random architectures and destination
+// sets, walking the encoded route through the tree delivers exactly the
+// encoded destinations — no destination lost, no spurious delivery —
+// and every throttle lands on an addressable (non-speculative) node
+// whose subtree holds no destination.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		m, p := randomArch(seed)
+		r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+		dests := randomDests(r, m.N)
+		route, err := EncodeMulticast(p, dests)
+		if err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		delivered, throttled := decodeWalk(p, route)
+		if delivered != dests {
+			t.Logf("seed %d (n=%d): delivered %v, want %v", seed, m.N, delivered, dests)
+			return false
+		}
+		for _, k := range throttled {
+			if p.IsSpeculative(k) {
+				t.Logf("seed %d: throttle at speculative node %d", seed, k)
+				return false
+			}
+			if !dests.Intersect(m.SubtreeDests(k)).Empty() {
+				t.Logf("seed %d: node %d throttled a live branch", seed, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimplifiedRoutingSkipsExactlySpeculativeNodes: the simplified
+// source-route header allocates a field for an addressable node and no
+// field for a speculative one — never the other way around — and the
+// header width is exactly two bits per addressable node. Speculative
+// nodes always decode to an unconditional broadcast, whatever the route
+// word holds.
+func TestSimplifiedRoutingSkipsExactlySpeculativeNodes(t *testing.T) {
+	prop := func(seed uint64, noise uint64) bool {
+		m, p := randomArch(seed)
+		addressable := 0
+		seen := make(map[int]bool)
+		for k := 1; k < m.N; k++ {
+			fi, ok := p.FieldIndex(k)
+			if ok == p.IsSpeculative(k) {
+				t.Logf("seed %d: node %d field=%v speculative=%v", seed, k, ok, p.IsSpeculative(k))
+				return false
+			}
+			if ok {
+				if seen[fi] {
+					t.Logf("seed %d: field %d assigned twice", seed, fi)
+					return false
+				}
+				seen[fi] = true
+				addressable++
+			}
+			if p.IsSpeculative(k) && NodeSymbol(p, k, noise) != SymBoth {
+				t.Logf("seed %d: speculative node %d did not broadcast", seed, k)
+				return false
+			}
+		}
+		if p.AddressBits() != 2*addressable {
+			t.Logf("seed %d: %d address bits, want %d", seed, p.AddressBits(), 2*addressable)
+			return false
+		}
+		if p.SpeculativeNodes() != m.NodesPerTree()-addressable {
+			t.Logf("seed %d: speculative-node count mismatch", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBaselineRoundTrip: the unicast baseline route always walks to its
+// single destination.
+func TestBaselineRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		m, _ := randomArch(seed)
+		r := rng.New(seed ^ 0xa076_1d64_78bd_642f)
+		dest := r.Intn(m.N)
+		route, err := EncodeBaseline(m, dest)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		k := 1
+		for lvl := 0; ; lvl++ {
+			c := m.Child(k, BaselinePort(route, lvl))
+			if c >= m.N {
+				if got := c - m.N; got != dest {
+					t.Logf("seed %d: walked to %d, want %d", seed, got, dest)
+					return false
+				}
+				return true
+			}
+			k = c
+		}
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
