@@ -40,10 +40,12 @@
 package asyncnoc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"asyncnoc/internal/core"
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/mesh"
 	"asyncnoc/internal/netlist"
 	"asyncnoc/internal/network"
@@ -198,8 +200,52 @@ func Benchmarks(n int) []Benchmark { return traffic.StandardSuite(n) }
 // BenchmarkByName resolves a benchmark reporting name.
 func BenchmarkByName(n int, name string) (Benchmark, error) { return traffic.ByName(n, name) }
 
-// Run executes one simulation and returns its measurements.
+// Run executes one simulation and returns its measurements. Protocol
+// violations inside the model surface as *ProtocolError; a wedged or
+// runaway simulation aborts with *DeadlockError or *LivelockError.
 func Run(spec NetworkSpec, cfg RunConfig) (RunResult, error) { return core.Run(spec, cfg) }
+
+// RunContext is Run with cancellation: the simulation checks ctx between
+// event batches and aborts with ctx.Err() once it is done.
+func RunContext(ctx context.Context, spec NetworkSpec, cfg RunConfig) (RunResult, error) {
+	return core.RunContext(ctx, spec, cfg)
+}
+
+// FaultConfig attaches a deterministic fault schedule (transient payload
+// corruption, body-flit drops, stuck channels, handshake jitter) and the
+// end-to-end recovery protocol's parameters to a NetworkSpec via its
+// Faults field. The zero value disables the fault layer entirely; with
+// any fault source enabled, the network interfaces run a CRC-checked
+// retransmission protocol with capped exponential backoff. All fault
+// randomness flows from FaultConfig.Seed, so runs stay bit-reproducible.
+type FaultConfig = fault.Config
+
+// StuckChannel wedges one fanout output channel permanently after a
+// configured number of delivered flits (FaultConfig.Stuck entries).
+type StuckChannel = fault.Stuck
+
+// FaultStats carries a run's fault-injection and recovery counters.
+type FaultStats = fault.Stats
+
+// StuckFlit locates one flit wedged in the network fabric (the deadlock
+// watchdog's diagnostic unit).
+type StuckFlit = network.StuckFlit
+
+// ProtocolError reports an asynchronous-protocol violation recovered at
+// the run boundary (a model inconsistency, not a workload failure).
+type ProtocolError = core.ProtocolError
+
+// DeadlockError reports a run that quiesced with flits still wedged in
+// the fabric; its Stuck field locates every one of them.
+type DeadlockError = core.DeadlockError
+
+// LivelockError reports a run that exceeded its event budget
+// (RunConfig.MaxEvents) before reaching the end of simulated time.
+type LivelockError = core.LivelockError
+
+// PanicError reports a panic recovered from an engine worker; the
+// poisoned job fails alone without killing the pool.
+type PanicError = core.PanicError
 
 // Engine is the parallel experiment engine: a bounded worker pool with a
 // keyed LRU result memo. Every simulation is a pure function of

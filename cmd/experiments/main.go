@@ -33,6 +33,7 @@ func main() {
 		seed    = flag.Uint64("seed", 2016, "random seed")
 		workers = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
 		sats    = flag.Bool("satloads", false, "also print the raw saturation loads")
+		faults  = flag.Bool("faults", false, "also run the fault-injection robustness sweep")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		n       = flag.Int("n", 8, "MoT radix (the paper evaluates 8; 16 explores the future-work size)")
 	)
@@ -77,6 +78,12 @@ func main() {
 	pwr, err := s.Table1Power()
 	check(err)
 	emit("table1_power", pwr)
+
+	if *faults {
+		sweep, err := s.FaultSweep(nil)
+		check(err)
+		emit("fault_sweep", sweep)
+	}
 
 	if *sats {
 		fmt.Println("== saturation loads (diagnostics) ==")

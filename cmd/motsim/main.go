@@ -12,12 +12,24 @@
 // the parallel experiment engine with speculative bisection (-workers,
 // or the ASYNCNOC_WORKERS environment variable; default GOMAXPROCS) and
 // find the same boundary at any pool size.
+//
+// The -faults flag family enables the deterministic fault-injection
+// layer with end-to-end CRC-checked retransmission:
+//
+//	motsim -network BasicHybridSpeculative -bench Multicast10 \
+//	       -load 0.3 -faults 1e-4 -fault-seed 7
+//
+// reports fault, retransmission, and recovery counters alongside the
+// usual measurements. Individual knobs (-fault-corrupt, -fault-drop,
+// -fault-jitter, -fault-stuck tree/heap/port@after) select fault classes
+// separately; -max-events arms the livelock watchdog explicitly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"asyncnoc"
 )
@@ -39,6 +51,17 @@ func main() {
 		util        = flag.Bool("util", false, "print per-level fanout utilization after the run")
 		draw        = flag.Bool("draw", false, "print the fanout-tree placement diagram and exit")
 		hist        = flag.Bool("hist", false, "print a latency histogram after the run")
+
+		faults        = flag.Float64("faults", 0, "shorthand: corrupt AND drop rate per channel traversal")
+		faultCorrupt  = flag.Float64("fault-corrupt", 0, "payload bit-flip probability per channel traversal")
+		faultDrop     = flag.Float64("fault-drop", 0, "body-flit drop probability per channel traversal")
+		faultJitter   = flag.Float64("fault-jitter", 0, "handshake-jitter probability per channel traversal")
+		faultJitterPs = flag.Int64("fault-jitter-max", 0, "jitter bound in ps (0 = default)")
+		faultSeed     = flag.Uint64("fault-seed", 1, "fault-schedule seed (independent of -seed)")
+		faultRetries  = flag.Int("fault-retries", 0, "per-packet retransmission budget (0 = default)")
+		faultTimeout  = flag.Int64("fault-timeout", 0, "base retransmission timeout in ps (0 = default)")
+		faultStuck    = flag.String("fault-stuck", "", "wedge channels: comma-separated tree/heap/port@after entries")
+		maxEvents     = flag.Uint64("max-events", 0, "watchdog event budget (0 = automatic for fault runs)")
 	)
 	flag.Parse()
 
@@ -58,6 +81,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *faults > 0 {
+		spec.Faults.CorruptRate = *faults
+		spec.Faults.DropRate = *faults
+	}
+	if *faultCorrupt > 0 {
+		spec.Faults.CorruptRate = *faultCorrupt
+	}
+	if *faultDrop > 0 {
+		spec.Faults.DropRate = *faultDrop
+	}
+	if *faultJitter > 0 {
+		spec.Faults.JitterRate = *faultJitter
+	}
+	spec.Faults.JitterMaxPs = *faultJitterPs
+	spec.Faults.MaxRetries = *faultRetries
+	spec.Faults.RetryTimeoutPs = *faultTimeout
+	if *faultStuck != "" {
+		stuck, err := parseStuck(*faultStuck)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Faults.Stuck = stuck
+	}
+	if spec.Faults.Enabled() {
+		spec.Faults.Seed = *faultSeed
+	}
 	if *draw {
 		out, err := asyncnoc.DrawPlacement(spec)
 		if err != nil {
@@ -71,12 +120,13 @@ func main() {
 		fatal(err)
 	}
 	cfg := asyncnoc.RunConfig{
-		Bench:   bench,
-		LoadGFs: *load,
-		Seed:    *seed,
-		Warmup:  asyncnoc.Time(*warmup) * asyncnoc.Nanosecond,
-		Measure: asyncnoc.Time(*measure) * asyncnoc.Nanosecond,
-		Drain:   asyncnoc.Time(*drain) * asyncnoc.Nanosecond,
+		Bench:     bench,
+		LoadGFs:   *load,
+		Seed:      *seed,
+		Warmup:    asyncnoc.Time(*warmup) * asyncnoc.Nanosecond,
+		Measure:   asyncnoc.Time(*measure) * asyncnoc.Nanosecond,
+		Drain:     asyncnoc.Time(*drain) * asyncnoc.Nanosecond,
+		MaxEvents: *maxEvents,
 	}
 
 	if *sat {
@@ -151,6 +201,26 @@ func main() {
 	fmt.Printf("throughput:       %.3f GF/s per source (delivered)\n", res.ThroughputGFs)
 	fmt.Printf("network power:    %.2f mW\n", res.PowerMW)
 	fmt.Printf("completion:       %.1f%% of %d measured packets\n", 100*res.Completion, res.MeasuredPackets)
+	if spec.Faults.Enabled() {
+		fmt.Printf("faults injected:  %d\n", res.FaultsInjected)
+		fmt.Printf("retransmissions:  %d\n", res.Retries)
+		fmt.Printf("recovered flits:  %d\n", res.RecoveredFlits)
+		fmt.Printf("lost flits:       %d (%d packet(s) written off)\n", res.LostFlits, res.LostPackets)
+	}
+}
+
+// parseStuck parses the -fault-stuck syntax: comma-separated
+// tree/heap/port@after entries, e.g. "0/2/0@3,1/1/1@0".
+func parseStuck(s string) ([]asyncnoc.StuckChannel, error) {
+	var out []asyncnoc.StuckChannel
+	for _, entry := range strings.Split(s, ",") {
+		var st asyncnoc.StuckChannel
+		if _, err := fmt.Sscanf(entry, "%d/%d/%d@%d", &st.Tree, &st.Heap, &st.Port, &st.After); err != nil {
+			return nil, fmt.Errorf("bad -fault-stuck entry %q (want tree/heap/port@after): %v", entry, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -38,7 +38,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sched, err := parseSchedule(*file)
+	sched, err := parseSchedule(*file, *n)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,8 +54,11 @@ func main() {
 	fmt.Printf("network power:  %.2f mW\n", res.PowerMW)
 }
 
-// parseSchedule reads the CSV workload format.
-func parseSchedule(path string) (asyncnoc.Schedule, error) {
+// parseSchedule reads and validates the CSV workload format against a
+// network of n terminals. Every malformed row is reported with its file
+// position so truncated or corrupt recordings fail with a usable message
+// instead of a downstream panic or a silently empty destination set.
+func parseSchedule(path string, n int) (asyncnoc.Schedule, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -65,26 +68,36 @@ func parseSchedule(path string) (asyncnoc.Schedule, error) {
 	r.FieldsPerRecord = -1 // variable destination counts
 	rows, err := r.ReadAll()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: malformed CSV: %w", path, err)
 	}
 	var sched asyncnoc.Schedule
 	for i, row := range rows {
 		if len(row) < 3 {
-			return nil, fmt.Errorf("%s:%d: need time_ns,src,dest[,dest...]", path, i+1)
+			return nil, fmt.Errorf("%s:%d: need time_ns,src,dest[,dest...], got %d field(s) (truncated row?)",
+				path, i+1, len(row))
 		}
 		tns, err := strconv.ParseFloat(row[0], 64)
 		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad time %q", path, i+1, row[0])
+			return nil, fmt.Errorf("%s:%d: bad time %q: %v", path, i+1, row[0], err)
+		}
+		if tns < 0 {
+			return nil, fmt.Errorf("%s:%d: negative time %v ns", path, i+1, tns)
 		}
 		src, err := strconv.Atoi(row[1])
 		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad source %q", path, i+1, row[1])
+			return nil, fmt.Errorf("%s:%d: bad source %q: %v", path, i+1, row[1], err)
+		}
+		if src < 0 || src >= n {
+			return nil, fmt.Errorf("%s:%d: source %d outside [0,%d)", path, i+1, src, n)
 		}
 		var dests asyncnoc.DestSet
 		for _, cell := range row[2:] {
 			d, err := strconv.Atoi(cell)
 			if err != nil {
-				return nil, fmt.Errorf("%s:%d: bad destination %q", path, i+1, cell)
+				return nil, fmt.Errorf("%s:%d: bad destination %q: %v", path, i+1, cell, err)
+			}
+			if d < 0 || d >= n {
+				return nil, fmt.Errorf("%s:%d: destination %d outside [0,%d)", path, i+1, d, n)
 			}
 			dests = dests.Add(d)
 		}
@@ -93,6 +106,9 @@ func parseSchedule(path string) (asyncnoc.Schedule, error) {
 			Src:   src,
 			Dests: dests,
 		})
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("%s: empty schedule", path)
 	}
 	return sched, nil
 }

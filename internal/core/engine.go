@@ -18,11 +18,14 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 
@@ -62,12 +65,13 @@ type Job struct {
 // but differing in, say, the hotspot destination hash differently).
 func JobKey(spec network.Spec, cfg RunConfig) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "spec|%s|%d|%d|%d|%v|%d|%d|%v|%d|%d",
+	fmt.Fprintf(h, "spec|%s|%d|%d|%d|%v|%d|%d|%v|%d|%d|%+v",
 		spec.Name, spec.N, spec.PacketLen, spec.Scheme, spec.SpecLevels,
-		spec.SpecKind, spec.NonSpecKind, spec.Serial, spec.Protocol, spec.SyncPeriod)
-	fmt.Fprintf(h, "|cfg|%#v|%s|%d|%d|%d|%d",
+		spec.SpecKind, spec.NonSpecKind, spec.Serial, spec.Protocol, spec.SyncPeriod,
+		spec.Faults)
+	fmt.Fprintf(h, "|cfg|%#v|%s|%d|%d|%d|%d|%d",
 		cfg.Bench, strconv.FormatFloat(cfg.LoadGFs, 'x', -1, 64),
-		cfg.Seed, cfg.Warmup, cfg.Measure, cfg.Drain)
+		cfg.Seed, cfg.Warmup, cfg.Measure, cfg.Drain, cfg.MaxEvents)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -160,16 +164,63 @@ func (e *Engine) evictLocked() {
 // otherwise the run computes under a pool slot. Determinism of the
 // simulator makes the shared result identical to a fresh computation.
 func (e *Engine) Run(spec network.Spec, cfg RunConfig) (RunResult, error) {
+	return e.RunContext(context.Background(), spec, cfg)
+}
+
+// RunContext is Run with cancellation. A caller abandoning a shared
+// in-flight computation returns immediately with ctx.Err() while the
+// computation itself finishes for the other waiters; a computation
+// aborted by its own context is evicted from the memo so the key is not
+// poisoned with a cancellation error.
+func (e *Engine) RunContext(ctx context.Context, spec network.Spec, cfg RunConfig) (RunResult, error) {
 	ent, compute := e.claim(JobKey(spec, cfg))
 	if compute {
-		e.sem <- struct{}{}
-		ent.res, ent.err = Run(spec, cfg)
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			ent.res, ent.err = RunResult{}, ctx.Err()
+			close(ent.done)
+			e.forget(ent)
+			return RunResult{}, ctx.Err()
+		}
+		ent.res, ent.err = runSafely(ctx, spec, cfg)
 		<-e.sem
 		close(ent.done)
-	} else {
-		<-ent.done
+		if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
+			e.forget(ent)
+		}
+		return ent.res, ent.err
 	}
-	return ent.res, ent.err
+	select {
+	case <-ent.done:
+		return ent.res, ent.err
+	case <-ctx.Done():
+		return RunResult{}, ctx.Err()
+	}
+}
+
+// runSafely converts a worker panic into a *PanicError: one poisoned job
+// must fail alone, not kill the pool or take sibling results with it.
+// (Typed protocol violations are already recovered one level down, in
+// RunContext's RecoverViolations handler.)
+func runSafely(ctx context.Context, spec network.Spec, cfg RunConfig) (res RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Network: spec.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return RunContext(ctx, spec, cfg)
+}
+
+// forget evicts one entry from the memo if it is still the entry mapped
+// to its key (used for cancellation results, which must not be replayed).
+func (e *Engine) forget(ent *memoEntry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.memo[ent.key]; ok && cur == ent {
+		e.order.Remove(ent.elem)
+		delete(e.memo, ent.key)
+	}
 }
 
 // claim looks the key up, registering a fresh in-flight entry on a miss.
@@ -205,10 +256,16 @@ func (e *Engine) Speculate(jobs ...Job) {
 }
 
 // RunJobs executes every job through the pool and returns the results in
-// job order regardless of completion order. The returned error is the
-// first failing job's (by job order), so error reporting is as
-// deterministic as the results.
+// job order regardless of completion order. On failure the slice is
+// still returned with every successful sibling filled in (failed slots
+// are zero), and the error is the first failing job's (by job order), so
+// error reporting is as deterministic as the results.
 func (e *Engine) RunJobs(jobs []Job) ([]RunResult, error) {
+	return e.RunJobsContext(context.Background(), jobs)
+}
+
+// RunJobsContext is RunJobs with cancellation applied to every job.
+func (e *Engine) RunJobsContext(ctx context.Context, jobs []Job) ([]RunResult, error) {
 	results := make([]RunResult, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -217,13 +274,13 @@ func (e *Engine) RunJobs(jobs []Job) ([]RunResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = e.Run(j.Spec, j.Cfg)
+			results[i], errs[i] = e.RunContext(ctx, j.Spec, j.Cfg)
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return results, err
 		}
 	}
 	return results, nil

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"asyncnoc/internal/fault"
+	"asyncnoc/internal/network"
+	"asyncnoc/internal/sim"
+)
+
+// ProtocolError reports an asynchronous-protocol violation (a typed
+// fault.Violation panic raised by a node, channel, or metrics state
+// machine) recovered at the run boundary. A violation means the model
+// itself — not the workload — is inconsistent: a send while a flit is in
+// flight, an acknowledge without a pending flit, a duplicate delivery.
+type ProtocolError struct {
+	// Network is the spec name of the run that violated.
+	Network string
+	// Violation carries the component and the violated rule.
+	Violation fault.Violation
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("core: %s: protocol violation: %s", e.Network, e.Violation.Error())
+}
+
+// Unwrap exposes the underlying violation for errors.As chains.
+func (e *ProtocolError) Unwrap() error { return e.Violation }
+
+// DeadlockError reports the watchdog's deadlock diagnosis. It fires on
+// either criterion: the event queue drained while flits were still held
+// inside the network fabric (quiescent deadlock — no future event can
+// ever move them), or one flit occupied the same channel across several
+// consecutive watchdog boundaries while injection was still live (a
+// wedged link propagating back-pressure).
+type DeadlockError struct {
+	Network string
+	// At is the simulation time of the diagnosis.
+	At sim.Time
+	// Stuck locates every flit wedged in the fabric.
+	Stuck []network.StuckFlit
+}
+
+func (e *DeadlockError) Error() string {
+	const maxListed = 8
+	s := fmt.Sprintf("core: %s: deadlock at %v: %d flit(s) stuck in the fabric",
+		e.Network, e.At, len(e.Stuck))
+	for i, st := range e.Stuck {
+		if i == maxListed {
+			s += fmt.Sprintf("; ... %d more", len(e.Stuck)-maxListed)
+			break
+		}
+		s += fmt.Sprintf("; %s at %s", st.Flit, st.Where)
+	}
+	return s
+}
+
+// LivelockError reports the watchdog's runaway diagnosis: the run
+// dispatched more events than its budget allows without reaching the end
+// of simulated time.
+type LivelockError struct {
+	Network string
+	// Events is the dispatch count when the budget tripped.
+	Events uint64
+	// At is the simulation time reached.
+	At sim.Time
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("core: %s: event budget exceeded (%d events dispatched by %v): livelock or runaway schedule",
+		e.Network, e.Events, e.At)
+}
+
+// PanicError reports a panic recovered from a worker running a
+// simulation: the poisoned job fails with this error instead of killing
+// the pool or losing sibling results.
+type PanicError struct {
+	Network string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: %s: panic during run: %v", e.Network, e.Value)
+}
+
+// RecoverViolations is the run-boundary deferred handler: it converts a
+// typed fault.Violation panic into a *ProtocolError written through err,
+// and re-raises anything else.
+func RecoverViolations(name string, err *error) {
+	if r := recover(); r != nil {
+		if v, ok := r.(fault.Violation); ok {
+			*err = &ProtocolError{Network: name, Violation: v}
+			return
+		}
+		panic(r)
+	}
+}

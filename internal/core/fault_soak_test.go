@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"asyncnoc/internal/fault"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/traffic"
+)
+
+// TestFaultSoak runs all six paper architectures under a 1e-4
+// corrupt+drop fault rate and requires full recovery everywhere. It is
+// the long way around the fault layer — skipped with -short; CI runs it
+// under -race via `make soak`.
+func TestFaultSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault soak skipped with -short")
+	}
+	for _, spec := range AllSpecs(8) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			spec.Faults = fault.Config{Seed: 2016, CorruptRate: 1e-4, DropRate: 1e-4}
+			res, err := Run(spec, RunConfig{
+				Bench: traffic.Multicast{N: 8, Frac: 0.10}, LoadGFs: 0.25, Seed: 1,
+				Warmup: 80 * sim.Nanosecond, Measure: 640 * sim.Nanosecond,
+				Drain: 2500 * sim.Nanosecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LostFlits != 0 || res.LostPackets != 0 {
+				t.Errorf("lost %d flits / %d packets at 1e-4", res.LostFlits, res.LostPackets)
+			}
+			if res.Completion != 1.0 {
+				t.Errorf("completion %.4f, want 1.0", res.Completion)
+			}
+		})
+	}
+}

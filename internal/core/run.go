@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/network"
 	"asyncnoc/internal/rng"
 	"asyncnoc/internal/sim"
@@ -28,6 +30,11 @@ type RunConfig struct {
 	// injection continues (holding the network at load) so measured
 	// packets can complete under steady-state conditions.
 	Drain sim.Time
+	// MaxEvents is the watchdog's event budget: a run dispatching more
+	// events aborts with a LivelockError. Zero selects no explicit
+	// budget; runs with faults enabled then get a generous automatic
+	// backstop (see Run).
+	MaxEvents uint64
 }
 
 // Validate checks the configuration.
@@ -65,17 +72,125 @@ type RunResult struct {
 	Completion float64
 	// MeasuredPackets is the number of packets injected in the window.
 	MeasuredPackets int
+
+	// Fault-layer counters, all zero when the spec's fault config is
+	// disabled (see fault.Stats for the precise semantics).
+	FaultsInjected int
+	Retries        int
+	RecoveredFlits int
+	LostFlits      int
+	LostPackets    int
 }
 
-// Run executes one simulation and returns its measurements.
+// Run executes one simulation and returns its measurements. Protocol
+// violations inside the model surface as *ProtocolError; a wedged or
+// runaway simulation aborts with *DeadlockError or *LivelockError.
 func Run(spec network.Spec, cfg RunConfig) (RunResult, error) {
+	return RunContext(context.Background(), spec, cfg)
+}
+
+// RunContext is Run with cancellation: the simulation is checked against
+// ctx between event batches and aborts with ctx.Err() once it is done.
+func RunContext(ctx context.Context, spec network.Spec, cfg RunConfig) (res RunResult, err error) {
+	defer RecoverViolations(spec.Name, &err)
 	nw, err := Build(spec, cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
 	total := cfg.Warmup + cfg.Measure + cfg.Drain
-	nw.Sched.RunUntil(total)
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 && spec.Faults.Enabled() {
+		// Automatic backstop for fault runs: generous enough that any
+		// legitimate simulation fits with orders of magnitude to spare,
+		// tight enough to stop a retransmission storm.
+		maxEvents = uint64(total) * uint64(spec.N) * 64
+	}
+	if err := runGuarded(ctx, nw, total, maxEvents); err != nil {
+		return RunResult{}, err
+	}
 	return Collect(nw, cfg), nil
+}
+
+// watchdogChunks is the granularity of the guarded run loop: the budget
+// and the context are consulted this many times over the simulated span.
+const watchdogChunks = 64
+
+// heldBoundaries is the wedge threshold: a flit occupying the same
+// channel at this many consecutive chunk boundaries (i.e. for at least
+// heldBoundaries-1 chunks, ~3% of the simulated span per chunk) is
+// diagnosed as a deadlock. Legitimate channel holds last nanoseconds in
+// the below-saturation regimes fault runs use; a wedged link holds its
+// flit forever.
+const heldBoundaries = 3
+
+// holdStreak tracks how many consecutive boundaries one channel has held
+// the same flit.
+type holdStreak struct {
+	hold  network.ChannelHold
+	count int
+}
+
+// runGuarded drives the scheduler to `total` simulated picoseconds under
+// the watchdog. Without a context deadline or event budget it is the
+// plain single RunUntil of the original harness (bit-identical); with
+// either, the same event sequence is dispatched in bounded chunks so the
+// run can abort between batches. In both modes quiescence with flits
+// still held in the fabric is diagnosed as a deadlock.
+func runGuarded(ctx context.Context, nw *network.Network, total sim.Time, maxEvents uint64) error {
+	sched := nw.Sched
+	if ctx.Done() == nil && maxEvents == 0 {
+		sched.RunUntil(total)
+	} else {
+		chunk := total / watchdogChunks
+		if chunk < 1 {
+			chunk = 1
+		}
+		// With faults enabled, watch for wedged links: injection runs for
+		// the whole span, so a stuck channel never quiesces the event
+		// queue — instead it pins one flit in one channel forever.
+		watchHolds := nw.FaultStats() != nil
+		streaks := make(map[int]holdStreak)
+		for t := chunk; ; t += chunk {
+			if t > total {
+				t = total
+			}
+			sched.RunUntil(t)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if maxEvents > 0 && sched.Executed() > maxEvents {
+				return &LivelockError{Network: nw.Spec.Name, Events: sched.Executed(), At: sched.Now()}
+			}
+			if watchHolds {
+				next := make(map[int]holdStreak)
+				for _, h := range nw.ChannelHolds() {
+					s := streaks[h.Chan]
+					if s.hold == h {
+						s.count++
+					} else {
+						s = holdStreak{hold: h, count: 1}
+					}
+					if s.count >= heldBoundaries {
+						return &DeadlockError{Network: nw.Spec.Name, At: sched.Now(), Stuck: nw.StuckFlits()}
+					}
+					next[h.Chan] = s
+				}
+				streaks = next
+			}
+			if t >= total || sched.Len() == 0 {
+				break
+			}
+		}
+		if sched.Now() < total {
+			sched.RunUntil(total) // advance the clock past an early quiescence
+		}
+	}
+	if sched.Len() == 0 {
+		if stuck := nw.StuckFlits(); len(stuck) > 0 {
+			return &DeadlockError{Network: nw.Spec.Name, At: sched.Now(), Stuck: stuck}
+		}
+	}
+	return nil
 }
 
 // Build constructs the network with injection processes armed and
@@ -106,7 +221,9 @@ func Build(spec network.Spec, cfg RunConfig) (*network.Network, error) {
 				return
 			}
 			if _, err := nw.Inject(s, cfg.Bench.NextDests(s, r)); err != nil {
-				panic(err) // benchmark produced an invalid destination set
+				// A benchmark producing an invalid destination set is a
+				// protocol-level modeling bug; surface it as one.
+				panic(fault.Violationf(fmt.Sprintf("benchmark %s", cfg.Bench.Name()), "%v", err))
 			}
 			nw.Sched.After(gap(r, meanGapPs), arm)
 		}
@@ -137,5 +254,12 @@ func Collect(nw *network.Network, cfg RunConfig) RunResult {
 	}
 	res.AvgLatencyNs, _ = nw.Rec.AvgLatencyNs()
 	res.P95LatencyNs, _ = nw.Rec.P95LatencyNs()
+	if fs := nw.FaultStats(); fs != nil {
+		res.FaultsInjected = fs.Injected
+		res.Retries = fs.Retries
+		res.RecoveredFlits = fs.RecoveredFlits
+		res.LostFlits = fs.LostFlits
+		res.LostPackets = fs.LostPackets
+	}
 	return res
 }

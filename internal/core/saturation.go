@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"asyncnoc/internal/network"
@@ -83,13 +84,21 @@ func Saturation(spec network.Spec, cfg SatConfig) (SatResult, error) {
 // memo hit whichever way the bisection branches. The search visits the
 // same loads and returns the same result as the serial path.
 func (e *Engine) Saturation(spec network.Spec, cfg SatConfig) (SatResult, error) {
+	return e.SaturationContext(context.Background(), spec, cfg)
+}
+
+// SaturationContext is Saturation with cancellation: every probe runs
+// under ctx, so an abandoned search stops issuing new simulations.
+// Speculative warm-ups keep the background context — they park results
+// in the memo for whoever needs them and must not inherit a deadline.
+func (e *Engine) SaturationContext(ctx context.Context, spec network.Spec, cfg SatConfig) (SatResult, error) {
 	cfgAt := func(load float64) RunConfig {
 		c := cfg.Base
 		c.LoadGFs = load
 		return c
 	}
 	return saturationSearch(spec.Name, cfg,
-		func(load float64) (RunResult, error) { return e.Run(spec, cfgAt(load)) },
+		func(load float64) (RunResult, error) { return e.RunContext(ctx, spec, cfgAt(load)) },
 		func(loads ...float64) {
 			jobs := make([]Job, len(loads))
 			for i, l := range loads {

@@ -57,8 +57,10 @@ func (s Schedule) End() sim.Time {
 // RunSchedule replays an explicit schedule through a network and measures
 // every injected packet (the window spans the whole schedule). Drain
 // bounds the extra simulated time after the last injection; the run also
-// ends early once the event queue empties.
-func RunSchedule(spec network.Spec, sched Schedule, drain sim.Time) (RunResult, error) {
+// ends early once the event queue empties. Protocol violations surface
+// as *ProtocolError and a wedged replay as *DeadlockError.
+func RunSchedule(spec network.Spec, sched Schedule, drain sim.Time) (res RunResult, err error) {
+	defer RecoverViolations(spec.Name, &err)
 	if err := sched.Validate(spec.N); err != nil {
 		return RunResult{}, err
 	}
@@ -83,7 +85,12 @@ func RunSchedule(spec network.Spec, sched Schedule, drain sim.Time) (RunResult, 
 		})
 	}
 	nw.Sched.RunUntil(end)
-	res := RunResult{
+	if nw.Sched.Len() == 0 {
+		if stuck := nw.StuckFlits(); len(stuck) > 0 {
+			return RunResult{}, &DeadlockError{Network: spec.Name, At: nw.Sched.Now(), Stuck: stuck}
+		}
+	}
+	res = RunResult{
 		Network:         spec.Name,
 		Benchmark:       "schedule",
 		ThroughputGFs:   nw.Rec.ThroughputGFs(spec.N),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"asyncnoc/internal/network"
@@ -38,10 +39,16 @@ func LoadSweep(spec network.Spec, base RunConfig, points int, maxFraction float6
 // point runs concurrently on the pool. Grid points that coincide with
 // saturation probes (the anchor load in particular) are memo hits.
 func (e *Engine) LoadSweep(spec network.Spec, base RunConfig, points int, maxFraction float64) ([]SweepPoint, error) {
+	return e.LoadSweepContext(context.Background(), spec, base, points, maxFraction)
+}
+
+// LoadSweepContext is LoadSweep with cancellation applied to the anchor
+// search and every grid point.
+func (e *Engine) LoadSweepContext(ctx context.Context, spec network.Spec, base RunConfig, points int, maxFraction float64) ([]SweepPoint, error) {
 	if points < 1 {
 		return nil, fmt.Errorf("core: sweep needs at least one point")
 	}
-	sat, err := e.Saturation(spec, SatConfig{Base: base})
+	sat, err := e.SaturationContext(ctx, spec, SatConfig{Base: base})
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +59,7 @@ func (e *Engine) LoadSweep(spec network.Spec, base RunConfig, points int, maxFra
 		cfg.LoadGFs = load
 		jobs[i] = Job{Spec: spec, Cfg: cfg}
 	}
-	results, err := e.RunJobs(jobs)
+	results, err := e.RunJobsContext(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package mesh
 import (
 	"fmt"
 
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/netlist"
 	"asyncnoc/internal/node"
 	"asyncnoc/internal/packet"
@@ -72,8 +73,8 @@ func (r *Router) connectOut(p int, ch *node.Channel) { r.out[p] = ch }
 // OnFlit implements node.Sink.
 func (r *Router) OnFlit(port int, f packet.Flit) {
 	if r.inHas[port] {
-		panic(fmt.Sprintf("mesh router (%d,%d): flit %v on port %d while %v unacknowledged",
-			r.X, r.Y, f, port, r.inCur[port]))
+		panic(fault.Violationf(fmt.Sprintf("mesh router (%d,%d)", r.X, r.Y),
+			"flit %v on port %d while %v unacknowledged", f, port, r.inCur[port]))
 	}
 	r.inCur[port] = f
 	r.inHas[port] = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"asyncnoc/internal/core"
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/rng"
 	"asyncnoc/internal/sim"
 )
@@ -11,8 +12,10 @@ import (
 // Run executes one mesh simulation under the same configuration contract
 // as the MoT harness (core.RunConfig): open-loop Poisson injection at
 // every tile, warmup/measurement/drain windows, and the same RunResult.
-// The benchmark's destination space must equal the tile count.
-func Run(spec Spec, cfg core.RunConfig) (core.RunResult, error) {
+// The benchmark's destination space must equal the tile count. Protocol
+// violations inside the router model surface as *core.ProtocolError.
+func Run(spec Spec, cfg core.RunConfig) (res core.RunResult, err error) {
+	defer core.RecoverViolations(spec.Name, &err)
 	if err := cfg.Validate(); err != nil {
 		return core.RunResult{}, err
 	}
@@ -35,7 +38,7 @@ func Run(spec Spec, cfg core.RunConfig) (core.RunResult, error) {
 				return
 			}
 			if _, err := m.Inject(t, cfg.Bench.NextDests(t, r)); err != nil {
-				panic(fmt.Sprintf("mesh: benchmark produced invalid destinations: %v", err))
+				panic(fault.Violationf(fmt.Sprintf("mesh benchmark %s", cfg.Bench.Name()), "%v", err))
 			}
 			m.Sched.After(gap(r, meanGapPs), arm)
 		}
@@ -43,7 +46,7 @@ func Run(spec Spec, cfg core.RunConfig) (core.RunResult, error) {
 	}
 	m.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
 
-	res := core.RunResult{
+	res = core.RunResult{
 		Network:         spec.Name,
 		Benchmark:       cfg.Bench.Name(),
 		LoadGFs:         cfg.LoadGFs,

@@ -6,8 +6,7 @@
 package metrics
 
 import (
-	"fmt"
-
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/stats"
@@ -59,7 +58,7 @@ func (r *Recorder) inWindow(t sim.Time) bool {
 // multicast clones must NOT be registered — only their parent.
 func (r *Recorder) PacketCreated(p *packet.Packet, now sim.Time) {
 	if _, dup := r.pkts[p.ID]; dup {
-		panic(fmt.Sprintf("metrics: packet %d registered twice", p.ID))
+		panic(fault.Violationf("metrics", "packet %d registered twice", p.ID))
 	}
 	st := &pktStat{p: p, measured: r.inWindow(now)}
 	r.pkts[p.ID] = st
@@ -78,13 +77,13 @@ func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
 	}
 	st, ok := r.pkts[logical.ID]
 	if !ok {
-		panic(fmt.Sprintf("metrics: header of unregistered packet %d", logical.ID))
+		panic(fault.Violationf("metrics", "header of unregistered packet %d", logical.ID))
 	}
 	if st.arrived.Has(dest) {
-		panic(fmt.Sprintf("metrics: duplicate header delivery of packet %d to dest %d", logical.ID, dest))
+		panic(fault.Violationf("metrics", "duplicate header delivery of packet %d to dest %d", logical.ID, dest))
 	}
 	if !logical.Dests.Has(dest) {
-		panic(fmt.Sprintf("metrics: packet %d delivered to non-destination %d (dests %v)",
+		panic(fault.Violationf("metrics", "packet %d delivered to non-destination %d (dests %v)",
 			logical.ID, dest, logical.Dests))
 	}
 	st.arrived = st.arrived.Add(dest)

@@ -12,6 +12,7 @@ package network
 import (
 	"fmt"
 
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/metrics"
 	"asyncnoc/internal/node"
 	"asyncnoc/internal/packet"
@@ -52,6 +53,11 @@ type Spec struct {
 	// traversal is quantized to worst-case cycles and the energy meter
 	// charges a load-independent clock tree.
 	SyncPeriod sim.Time
+	// Faults attaches a deterministic fault schedule and enables the
+	// CRC-checked end-to-end retransmission protocol at the network
+	// interfaces. The zero value disables the fault layer entirely: the
+	// network builds and runs bit-identically to a spec without it.
+	Faults fault.Config
 }
 
 // Validate checks internal consistency.
@@ -64,6 +70,12 @@ func (s Spec) Validate() error {
 	}
 	if !s.Serial && s.NonSpecKind == node.Baseline {
 		return fmt.Errorf("network %s: baseline fanout nodes cannot route multicast", s.Name)
+	}
+	if err := s.Faults.Validate(s.N); err != nil {
+		return fmt.Errorf("network %s: %w", s.Name, err)
+	}
+	if s.Faults.Enabled() && s.PacketLen > 63 {
+		return fmt.Errorf("network %s: packet length %d > 63 unsupported with faults (rx bitmask)", s.Name, s.PacketLen)
 	}
 	return nil
 }
@@ -127,7 +139,22 @@ type Network struct {
 	fanouts [][]*node.Fanout // [tree][heap 1..N-1]
 	fanins  [][]*node.Fanin  // [tree][heap 1..N-1]
 
+	// inj owns the fault schedule; nil when Spec.Faults is disabled.
+	inj *fault.Injector
+	// chans lists every channel in wiring order so the watchdog can
+	// sample flit occupancy (fault mode only).
+	chans []*node.Channel
+
 	nextID uint64
+}
+
+// FaultStats exposes the run's fault and recovery counters, or nil when
+// the fault layer is disabled.
+func (nw *Network) FaultStats() *fault.Stats {
+	if nw.inj == nil {
+		return nil
+	}
+	return &nw.inj.Stats
 }
 
 // New builds a network instance with its own scheduler, recorder, and
@@ -163,7 +190,15 @@ func New(spec Spec) (*Network, error) {
 		Rec:       metrics.NewRecorder(),
 		Meter:     power.NewMeter(sched.Now),
 	}
+	if spec.Faults.Enabled() {
+		// The injector must exist before build(): every channel draws its
+		// fault stream in wiring order.
+		nw.inj = fault.NewInjector(spec.Faults)
+	}
 	nw.build()
+	for _, st := range spec.Faults.Stuck {
+		nw.fanouts[st.Tree][st.Heap].OutputChannel(topology.Port(st.Port)).Faults.SetStuck(st.After)
+	}
 	if spec.SyncPeriod > 0 {
 		nodes := float64(m.TotalFanoutNodes() + m.TotalFaninNodes())
 		// fJ per ps is mW: clock energy per node per cycle over the period.
@@ -195,7 +230,37 @@ func (nw *Network) channel(dst node.Sink, dstPort int, src node.AckTarget, srcPo
 		SrcPort:  srcPort,
 	}
 	ch.OnTraverse = func(packet.Flit) { nw.Meter.Channel() }
+	if nw.inj != nil {
+		ch.Faults = nw.inj.Channel()
+		nw.chans = append(nw.chans, ch)
+	}
 	return ch
+}
+
+// ChannelHold identifies a flit occupying one channel at a sampling
+// instant: the channel's wiring ordinal plus the flit's identity. A flit
+// never traverses the same channel twice (routes are loop-free and every
+// retransmission carries a fresh attempt number), so two samples with an
+// equal hold mean the flit sat in the channel the whole interval.
+type ChannelHold struct {
+	Chan    int
+	Pkt     uint64
+	Index   int
+	Attempt int
+}
+
+// ChannelHolds snapshots every in-flight channel in deterministic wiring
+// order. Only available with the fault layer enabled (nil otherwise);
+// the watchdog compares consecutive snapshots to detect wedged links
+// while traffic injection is still live.
+func (nw *Network) ChannelHolds() []ChannelHold {
+	var holds []ChannelHold
+	for i, ch := range nw.chans {
+		if f, ok := ch.InFlightFlit(); ok {
+			holds = append(holds, ChannelHold{Chan: i, Pkt: f.Pkt.ID, Index: f.Index, Attempt: f.Attempt})
+		}
+	}
+	return holds
 }
 
 // build instantiates and wires every node, interface, and channel.
@@ -355,23 +420,147 @@ func (nw *Network) Fanout(tree, heap int) *node.Fanout { return nw.fanouts[tree]
 // Fanin exposes one fanin node (tests and diagnostics).
 func (nw *Network) Fanin(tree, heap int) *node.Fanin { return nw.fanins[tree][heap] }
 
+// StuckFlit locates one flit held somewhere in the network fabric.
+type StuckFlit struct {
+	// Where names the holding element, e.g. "channel fanout 3/2.T".
+	Where string
+	// Flit renders the held flit.
+	Flit string
+}
+
+// StuckFlits walks every queue, node stage, and channel in deterministic
+// order and reports each flit still held inside the fabric. A healthy
+// network that has quiesced (empty event queue) holds none; a non-empty
+// result with an empty event queue is a deadlock, and the listed
+// locations are the watchdog's diagnostic.
+func (nw *Network) StuckFlits() []StuckFlit {
+	var out []StuckFlit
+	add := func(where string, f packet.Flit) {
+		out = append(out, StuckFlit{Where: where, Flit: f.String()})
+	}
+	portName := map[topology.Port]string{topology.Top: "T", topology.Bottom: "B"}
+	n := nw.Spec.N
+	for t := 0; t < n; t++ {
+		for _, f := range nw.sources[t].queue {
+			add(fmt.Sprintf("source %d queue", t), f)
+		}
+		if f, ok := nw.sources[t].out.InFlightFlit(); ok {
+			add(fmt.Sprintf("channel source %d -> fanout %d/1", t, t), f)
+		}
+		for k := 1; k < n; k++ {
+			fo := nw.fanouts[t][k]
+			if f, ok := fo.InputPending(); ok {
+				add(fmt.Sprintf("fanout %d/%d input", t, k), f)
+			}
+			for _, p := range []topology.Port{topology.Top, topology.Bottom} {
+				for _, f := range fo.PeekFIFO(p) {
+					add(fmt.Sprintf("fanout %d/%d fifo.%s", t, k, portName[p]), f)
+				}
+				if f, ok := fo.OutputChannel(p).InFlightFlit(); ok {
+					add(fmt.Sprintf("channel fanout %d/%d.%s", t, k, portName[p]), f)
+				}
+			}
+			fi := nw.fanins[t][k]
+			for port := 0; port < 2; port++ {
+				if f, ok := fi.PendingFlit(port); ok {
+					add(fmt.Sprintf("fanin %d/%d input %d", t, k, port), f)
+				}
+			}
+			for _, f := range fi.PeekFIFO() {
+				add(fmt.Sprintf("fanin %d/%d fifo", t, k), f)
+			}
+			if f, ok := fi.OutputChannel().InFlightFlit(); ok {
+				add(fmt.Sprintf("channel fanin %d/%d", t, k), f)
+			}
+		}
+	}
+	return out
+}
+
 // SourceNI is a source network interface: an injection queue drained one
-// flit per root-channel handshake.
+// flit per root-channel handshake. With the fault layer enabled it also
+// runs the sender half of the end-to-end retransmission protocol: every
+// packet is tracked until all destinations return a delivery acknowledge,
+// and a per-attempt timer with capped exponential backoff re-injects the
+// whole packet until the retry budget runs out.
 type SourceNI struct {
 	nw    *Network
 	src   int
 	out   *node.Channel
 	queue []packet.Flit
 	busy  bool
+
+	// tx tracks unacknowledged packets by ID (fault mode only).
+	tx map[uint64]*txState
+}
+
+// txState is one tracked packet awaiting end-to-end acknowledgment.
+type txState struct {
+	pkt         *packet.Packet
+	outstanding packet.DestSet
+	attempts    int
+	timer       *sim.Event
 }
 
 func newSourceNI(nw *Network, src int) *SourceNI {
-	return &SourceNI{nw: nw, src: src}
+	ni := &SourceNI{nw: nw, src: src}
+	if nw.inj != nil {
+		ni.tx = make(map[uint64]*txState)
+	}
+	return ni
 }
 
 func (ni *SourceNI) enqueue(p *packet.Packet) {
+	if ni.tx != nil {
+		st := &txState{pkt: p, outstanding: p.Dests}
+		ni.tx[p.ID] = st
+		ni.arm(st)
+	}
 	ni.queue = append(ni.queue, p.Flits()...)
 	ni.pump()
+}
+
+// arm schedules the retransmission timer for the packet's next attempt.
+func (ni *SourceNI) arm(st *txState) {
+	cfg := ni.nw.inj.Config()
+	st.timer = ni.nw.Sched.After(sim.Time(cfg.BackoffPs(st.attempts+1)), func() {
+		ni.timeout(st)
+	})
+}
+
+// timeout fires when a tracked packet missed its delivery deadline:
+// retransmit all flits, or write the packet off once the budget is spent.
+func (ni *SourceNI) timeout(st *txState) {
+	cfg := ni.nw.inj.Config()
+	stats := &ni.nw.inj.Stats
+	if st.attempts >= cfg.MaxRetries {
+		stats.LostFlits += st.pkt.Length * st.outstanding.Count()
+		stats.LostPackets++
+		delete(ni.tx, st.pkt.ID)
+		return
+	}
+	st.attempts++
+	stats.Retries++
+	fs := st.pkt.Flits()
+	for i := range fs {
+		fs[i].Attempt = st.attempts
+	}
+	ni.queue = append(ni.queue, fs...)
+	ni.arm(st)
+	ni.pump()
+}
+
+// confirm processes one destination's end-to-end delivery acknowledge.
+func (ni *SourceNI) confirm(id uint64, dest int) {
+	st, ok := ni.tx[id]
+	if !ok {
+		return // already complete or written off
+	}
+	st.outstanding &^= packet.Dest(dest)
+	if st.outstanding.Empty() {
+		ni.nw.Sched.Cancel(st.timer)
+		delete(ni.tx, id)
+	}
 }
 
 func (ni *SourceNI) pump() {
@@ -394,27 +583,84 @@ func (ni *SourceNI) OnAck(int) {
 }
 
 // SinkNI is a destination network interface: it consumes flits, records
-// deliveries, and acknowledges after its consume time.
+// deliveries, and acknowledges after its consume time. With the fault
+// layer enabled it runs the receiver half of the recovery protocol:
+// CRC-check every flit, drop corrupt ones, deduplicate retransmitted
+// copies, and return an end-to-end delivery acknowledge once a packet's
+// every flit has landed clean.
 type SinkNI struct {
 	nw   *Network
 	dest int
 	in   *node.Channel
+
+	// rx deduplicates per-packet flit arrivals by index bitmask
+	// (fault mode only).
+	rx map[uint64]*rxState
+}
+
+// rxState is one packet's receive progress at a destination.
+type rxState struct {
+	got   uint64 // bitmask over flit indices received clean
+	acked bool   // end-to-end acknowledge already scheduled
 }
 
 func newSinkNI(nw *Network, dest int) *SinkNI {
-	return &SinkNI{nw: nw, dest: dest}
+	ni := &SinkNI{nw: nw, dest: dest}
+	if nw.inj != nil {
+		ni.rx = make(map[uint64]*rxState)
+	}
+	return ni
 }
 
 // OnFlit implements node.Sink.
 func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	now := ni.nw.Sched.Now()
-	ni.nw.Rec.FlitDelivered(now)
 	ni.nw.Meter.Interface()
-	if f.IsHeader() {
-		ni.nw.Rec.HeaderArrived(f.Pkt, ni.dest, now)
+	if ni.rx == nil {
+		// Fault layer disabled: the legacy path, bit-identical to the
+		// pre-fault model.
+		ni.nw.Rec.FlitDelivered(now)
+		if f.IsHeader() {
+			ni.nw.Rec.HeaderArrived(f.Pkt, ni.dest, now)
+		}
+		if ni.nw.Trace != nil {
+			ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
+		}
+		ni.nw.Sched.After(timing.SinkAck, ni.in.Ack)
+		return
 	}
+	// Fault mode: the physical arrival is always traced and acknowledged
+	// at the link level, but accounting accepts each (packet, flit index)
+	// exactly once and only when the CRC checks out.
 	if ni.nw.Trace != nil {
 		ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
 	}
 	ni.nw.Sched.After(timing.SinkAck, ni.in.Ack)
+	if !f.CheckCRC() {
+		return // corrupted in flight; recovered by retransmission
+	}
+	st := ni.rx[f.Pkt.ID]
+	if st == nil {
+		st = &rxState{}
+		ni.rx[f.Pkt.ID] = st
+	}
+	bit := uint64(1) << uint(f.Index)
+	if st.got&bit != 0 {
+		return // duplicate from a retransmission
+	}
+	st.got |= bit
+	if f.Attempt > 0 {
+		ni.nw.inj.Stats.RecoveredFlits++
+	}
+	ni.nw.Rec.FlitDelivered(now)
+	if f.IsHeader() {
+		ni.nw.Rec.HeaderArrived(f.Pkt, ni.dest, now)
+	}
+	if !st.acked && st.got == uint64(1)<<uint(f.Pkt.Length)-1 {
+		st.acked = true
+		id, src := f.Pkt.ID, f.Pkt.Src
+		ni.nw.Sched.After(sim.Time(ni.nw.inj.Config().AckDelayPs), func() {
+			ni.nw.sources[src].confirm(id, ni.dest)
+		})
+	}
 }

@@ -7,11 +7,16 @@
 // returning on an output channel (OnAck). Timing comes from the gate-level
 // analyses in internal/timing; the handshake sequencing below mirrors the
 // protocol descriptions of the paper.
+//
+// Protocol violations panic with a typed fault.Violation value; the run
+// boundary in internal/core recovers them into a *core.ProtocolError so a
+// poisoned simulation reports instead of crashing the process.
 package node
 
 import (
 	"fmt"
 
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/sim"
 )
@@ -50,9 +55,13 @@ type Channel struct {
 	// OnTraverse, when set, observes every flit that enters the wire
 	// (energy accounting and tracing).
 	OnTraverse func(f packet.Flit)
+	// Faults, when set, draws a deterministic per-traversal fault
+	// decision for every Send (see internal/fault).
+	Faults *fault.ChannelFaults
 
 	inFlight bool
 	acked    bool
+	cur      packet.Flit
 
 	faulted    bool
 	faultAfter int
@@ -73,25 +82,54 @@ func (c *Channel) Fault(after int) {
 // Send drives a flit onto the channel.
 func (c *Channel) Send(f packet.Flit) {
 	if c.inFlight {
-		panic(fmt.Sprintf("channel to port %d of %T: send while flit in flight", c.DstPort, c.Dst))
+		panic(fault.Violationf(fmt.Sprintf("channel to port %d of %T", c.DstPort, c.Dst),
+			"send of %v while %v in flight", f, c.cur))
 	}
 	c.inFlight = true
 	c.acked = false
+	c.cur = f
 	c.sends++
 	if c.faulted && c.sends > c.faultAfter {
 		return // wedged: the flit vanishes, the ack never comes
 	}
+	fwd := c.FwdDelay
+	if c.Faults != nil {
+		d := c.Faults.Next(f.Kind() == packet.Body)
+		if d.Stuck {
+			return // wedged by the fault schedule (see Fault above)
+		}
+		if d.Drop {
+			// The payload bundle glitches away but the self-timed link
+			// completes the handshake: the receiver never sees the flit,
+			// the sender gets its credit back after the full round trip.
+			if c.OnTraverse != nil {
+				c.OnTraverse(f)
+			}
+			c.Sched.After(c.FwdDelay+c.AckDelay, func() {
+				c.inFlight = false
+				if c.Src != nil {
+					c.Src.OnAck(c.SrcPort)
+				}
+			})
+			return
+		}
+		if d.CorruptBit >= 0 {
+			f.Payload ^= 1 << uint(d.CorruptBit)
+		}
+		fwd += sim.Time(d.JitterPs)
+	}
 	if c.OnTraverse != nil {
 		c.OnTraverse(f)
 	}
-	c.Sched.After(c.FwdDelay, func() { c.Dst.OnFlit(c.DstPort, f) })
+	c.Sched.After(fwd, func() { c.Dst.OnFlit(c.DstPort, f) })
 }
 
 // Ack returns the acknowledge edge to the sender. The receiver calls it
 // exactly once per received flit.
 func (c *Channel) Ack() {
 	if !c.inFlight || c.acked {
-		panic(fmt.Sprintf("channel to port %d of %T: ack without pending flit", c.DstPort, c.Dst))
+		panic(fault.Violationf(fmt.Sprintf("channel to port %d of %T", c.DstPort, c.Dst),
+			"ack without pending flit"))
 	}
 	c.acked = true
 	c.Sched.After(c.AckDelay, func() {
@@ -105,3 +143,8 @@ func (c *Channel) Ack() {
 // Busy reports whether a flit is in flight (sent but not yet acknowledged
 // back to the sender).
 func (c *Channel) Busy() bool { return c.inFlight }
+
+// InFlightFlit returns the flit currently occupying the channel (sent but
+// not yet credit-returned, including flits held by a wedged link) and
+// whether one exists. Used by the deadlock watchdog's stuck-flit report.
+func (c *Channel) InFlightFlit() (packet.Flit, bool) { return c.cur, c.inFlight }

@@ -3,6 +3,7 @@ package node
 import (
 	"fmt"
 
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/netlist"
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/sim"
@@ -86,11 +87,12 @@ func (n *Fanin) OutputChannel() *Channel { return n.out }
 // OnFlit implements Sink.
 func (n *Fanin) OnFlit(port int, f packet.Flit) {
 	if n.pending[port] != nil {
-		panic(fmt.Sprintf("fanin %d/%d: flit %v arrived on port %d while %v unacknowledged",
-			n.Tree, n.Heap, f, port, *n.pending[port]))
+		panic(fault.Violationf(fmt.Sprintf("fanin %d/%d", n.Tree, n.Heap),
+			"flit %v arrived on port %d while %v unacknowledged", f, port, *n.pending[port]))
 	}
 	if !f.IsHeader() && n.locked != port {
-		panic(fmt.Sprintf("fanin %d/%d: body flit %v on unlocked port %d", n.Tree, n.Heap, f, port))
+		panic(fault.Violationf(fmt.Sprintf("fanin %d/%d", n.Tree, n.Heap),
+			"body flit %v on unlocked port %d", f, port))
 	}
 	fl := f
 	n.pending[port] = &fl
@@ -172,3 +174,16 @@ func (n *Fanin) OnAck(int) {
 	n.pump()
 	n.tryForward()
 }
+
+// PendingFlit returns the unacknowledged flit on one input port, if any
+// (deadlock diagnostics).
+func (n *Fanin) PendingFlit(port int) (packet.Flit, bool) {
+	if n.pending[port] == nil {
+		return packet.Flit{}, false
+	}
+	return *n.pending[port], true
+}
+
+// PeekFIFO returns a copy of the output-buffer contents (deadlock
+// diagnostics).
+func (n *Fanin) PeekFIFO() []packet.Flit { return append([]packet.Flit(nil), n.fifo...) }

@@ -3,6 +3,7 @@ package node
 import (
 	"fmt"
 
+	"asyncnoc/internal/fault"
 	"asyncnoc/internal/netlist"
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/routing"
@@ -177,7 +178,8 @@ func (n *Fanout) OutputChannel(p topology.Port) *Channel { return n.out[p] }
 // OnFlit implements Sink.
 func (n *Fanout) OnFlit(port int, f packet.Flit) {
 	if n.hasCur {
-		panic(fmt.Sprintf("fanout %d/%d: flit %v arrived while %v unacknowledged", n.Tree, n.Heap, f, n.cur))
+		panic(fault.Violationf(fmt.Sprintf("fanout %d/%d", n.Tree, n.Heap),
+			"flit %v arrived while %v unacknowledged", f, n.cur))
 	}
 	dirs, fwd, absorb := n.route(f)
 	if absorb {
@@ -348,3 +350,13 @@ func (n *Fanout) OnAck(p int) {
 
 // QueuedFlits returns the occupancy of one output-port FIFO (diagnostics).
 func (n *Fanout) QueuedFlits(p topology.Port) int { return len(n.fifo[p]) }
+
+// InputPending returns the uncommitted input flit, if any (deadlock
+// diagnostics).
+func (n *Fanout) InputPending() (packet.Flit, bool) { return n.cur, n.hasCur }
+
+// PeekFIFO returns a copy of one output-port FIFO's contents (deadlock
+// diagnostics).
+func (n *Fanout) PeekFIFO(p topology.Port) []packet.Flit {
+	return append([]packet.Flit(nil), n.fifo[p]...)
+}

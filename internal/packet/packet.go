@@ -8,7 +8,9 @@
 package packet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/bits"
 	"strings"
 )
@@ -151,7 +153,42 @@ type Flit struct {
 	// header's destination mask at every replication). Zero means the
 	// full Pkt.Dests applies (source-routed MoT networks never prune).
 	Branch DestSet
+	// Payload models the flit's data bundle: a deterministic function of
+	// (packet ID, flit index) filled at flit materialization. Transient
+	// link faults flip payload bits; routing and handshake fields are
+	// conservatively assumed protected.
+	Payload uint64
+	// CRC is the CRC-32C checksum of Payload computed by the source
+	// network interface; the destination interface recomputes it to
+	// detect in-flight corruption.
+	CRC uint32
+	// Attempt is the retransmission attempt that produced this copy
+	// (0 = first transmission).
+	Attempt int
 }
+
+// crcTable is the Castagnoli polynomial table used for flit checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadFor derives a flit's modeled payload bits from its identity
+// (splitmix64 finalizer over packet ID and flit index).
+func payloadFor(id uint64, index int) uint64 {
+	z := id<<20 ^ uint64(index) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// payloadCRC computes the CRC-32C of a payload word.
+func payloadCRC(payload uint64) uint32 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], payload)
+	return crc32.Checksum(b[:], crcTable)
+}
+
+// CheckCRC reports whether the flit's payload still matches its checksum
+// — false after an in-flight payload corruption.
+func (f Flit) CheckCRC() bool { return payloadCRC(f.Payload) == f.CRC }
 
 // BranchDests returns the destination set this flit copy is responsible
 // for: the pruned branch subset if set, the packet's full set otherwise.
@@ -186,11 +223,13 @@ func (f Flit) String() string {
 	return fmt.Sprintf("pkt%d[%d/%d:%s]", f.Pkt.ID, f.Index, f.Pkt.Length, f.Kind())
 }
 
-// Flits materializes all flits of the packet in order.
+// Flits materializes all flits of the packet in order, with payloads
+// sealed under their CRC-32C checksums.
 func (p *Packet) Flits() []Flit {
 	out := make([]Flit, p.Length)
 	for i := range out {
-		out[i] = Flit{Pkt: p, Index: i}
+		payload := payloadFor(p.ID, i)
+		out[i] = Flit{Pkt: p, Index: i, Payload: payload, CRC: payloadCRC(payload)}
 	}
 	return out
 }

@@ -37,10 +37,11 @@ func StdDev(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) by linear interpolation
-// between closest ranks. It panics on an empty slice or p outside [0,100].
+// between closest ranks. An empty slice yields 0 (no samples, no signal —
+// matching Mean); p outside [0,100] panics, as it is always a caller bug.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: percentile of empty slice")
+		return 0
 	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
@@ -63,10 +64,10 @@ func Percentile(xs []float64, p float64) float64 {
 // Median returns the 50th percentile.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
-// Min returns the smallest value; it panics on an empty slice.
+// Min returns the smallest value, or 0 for an empty slice.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: min of empty slice")
+		return 0
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -77,10 +78,10 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Max returns the largest value; it panics on an empty slice.
+// Max returns the largest value, or 0 for an empty slice.
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: max of empty slice")
+		return 0
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -100,11 +101,11 @@ type Bin struct {
 }
 
 // Histogram buckets the samples into `bins` equal-width bins spanning
-// [min, max]. The last bin is closed on both ends. It panics on an empty
-// slice or non-positive bin count.
+// [min, max]. The last bin is closed on both ends. An empty slice yields
+// nil; a non-positive bin count panics, as it is always a caller bug.
 func Histogram(xs []float64, bins int) []Bin {
 	if len(xs) == 0 {
-		panic("stats: histogram of empty slice")
+		return nil
 	}
 	if bins < 1 {
 		panic("stats: non-positive bin count")

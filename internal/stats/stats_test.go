@@ -50,12 +50,10 @@ func TestPercentile(t *testing.T) {
 }
 
 func TestPercentilePanics(t *testing.T) {
+	// Out-of-range percentiles are caller bugs and still panic.
 	for _, f := range []func(){
-		func() { Percentile(nil, 50) },
 		func() { Percentile([]float64{1}, -1) },
 		func() { Percentile([]float64{1}, 101) },
-		func() { Min(nil) },
-		func() { Max(nil) },
 	} {
 		func() {
 			defer func() {
@@ -65,6 +63,26 @@ func TestPercentilePanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestEmptySlicesYieldZeroValues(t *testing.T) {
+	// Empty inputs are a legitimate "no samples" state (e.g. a fully
+	// saturated run completing zero packets) and must not crash.
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of nil != 0")
+	}
+	if Histogram(nil, 3) != nil {
+		t.Error("Histogram(nil) != nil")
+	}
+	if out := FormatHistogram(nil, 10); out != "" {
+		t.Errorf("FormatHistogram(nil) = %q", out)
 	}
 }
 
@@ -142,17 +160,10 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { Histogram(nil, 3) },
-		func() { Histogram([]float64{1}, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
-	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive bin count")
+		}
+	}()
+	Histogram([]float64{1}, 0)
 }
