@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vuln race soak ci experiments clean
+.PHONY: all build test vet lint vuln race soak obs-smoke ci experiments clean
 
 all: build
 
@@ -39,10 +39,26 @@ vuln:
 soak:
 	$(GO) test -race -run TestFaultSoak ./internal/core
 
+# obs-smoke exercises the observability path end to end: a traced
+# saturation search writes the JSONL flit trace at two worker-pool
+# sizes, jsontrace -validate schema-checks it, and cmp proves the trace
+# is byte-identical regardless of parallelism (the determinism
+# guarantee of DESIGN.md section 9).
+obs-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/motsim ./cmd/motsim
+	$(GO) build -o bin/jsontrace ./examples/jsontrace
+	./bin/motsim -sat -workers 1 -trace-out bin/trace_w1.jsonl >/dev/null
+	./bin/motsim -sat -workers 4 -trace-out bin/trace_w4.jsonl >/dev/null
+	./bin/jsontrace -validate bin/trace_w1.jsonl
+	cmp bin/trace_w1.jsonl bin/trace_w4.jsonl
+	@echo "obs-smoke: trace schema valid and byte-identical at 1 and 4 workers"
+
 # ci is the gate: vet, build, the full suite under the race detector
 # (engine determinism, property, and fault-layer tests included), the
-# fault soak, and the optional static analyzers.
-ci: vet build race soak lint vuln
+# fault soak, the observability smoke, and the optional static
+# analyzers.
+ci: vet build race soak obs-smoke lint vuln
 
 # experiments regenerates the paper's tables at CI scale.
 experiments:

@@ -49,6 +49,7 @@ import (
 	"asyncnoc/internal/mesh"
 	"asyncnoc/internal/netlist"
 	"asyncnoc/internal/network"
+	"asyncnoc/internal/obs"
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/rng"
 	"asyncnoc/internal/routing"
@@ -81,10 +82,12 @@ type TraceEvent = network.TraceEvent
 
 // Trace event kinds.
 const (
-	TraceInject   = network.TraceInject
-	TraceForward  = network.TraceForward
-	TraceThrottle = network.TraceThrottle
-	TraceDeliver  = network.TraceDeliver
+	TraceInject     = network.TraceInject
+	TraceForward    = network.TraceForward
+	TraceThrottle   = network.TraceThrottle
+	TraceDeliver    = network.TraceDeliver
+	TraceRetransmit = network.TraceRetransmit
+	TraceDrop       = network.TraceDrop
 )
 
 // RunConfig parameterizes one simulation run.
@@ -355,6 +358,59 @@ type Utilization = network.Utilization
 // AttachUtilization instruments a built network with per-level activity
 // counters (chains any existing Trace callback).
 func AttachUtilization(nw *Network) *Utilization { return network.AttachUtilization(nw) }
+
+// TraceSink streams a network's flit-lifecycle events as deterministic
+// JSON Lines (one object per event, fixed field order); for a fixed
+// (spec, config) the byte stream is identical across runs and across
+// engine worker-pool sizes.
+type TraceSink = obs.TraceSink
+
+// AttachTraceJSONL chains a JSONL trace sink onto a built network
+// (preserving any existing Trace observer); Flush it after the run.
+func AttachTraceJSONL(nw *Network, w io.Writer) *TraceSink {
+	return obs.AttachTraceJSONL(nw, w)
+}
+
+// ValidateTrace schema-checks a JSONL trace stream and returns the number
+// of events validated.
+func ValidateTrace(r io.Reader) (int, error) { return obs.ValidateTrace(r) }
+
+// LatencySummary is a sort-once descriptive summary (mean, stddev,
+// percentiles, histogram) of a sample set.
+type LatencySummary = stats.Summary
+
+// NewLatencySummary builds a summary of the samples (typically
+// latencies in ns); the input is copied, not retained.
+func NewLatencySummary(samples []float64) *LatencySummary { return stats.NewSummary(samples) }
+
+// Monitor is a live observability endpoint (expvar counters at
+// /debug/vars, pprof at /debug/pprof/) for long sweeps.
+type Monitor = obs.Monitor
+
+// SweepProgress tracks job completion and extrapolates an ETA for the
+// monitoring endpoint and CLI progress lines.
+type SweepProgress = obs.Progress
+
+// NewSweepProgress starts tracking a sweep of total jobs.
+func NewSweepProgress(total int) *SweepProgress { return obs.NewProgress(total) }
+
+// StartMonitor serves the monitoring endpoint on addr (":0" picks a free
+// port; see Monitor.Addr). engine and progress may be nil.
+func StartMonitor(addr string, engine *Engine, progress *SweepProgress) (*Monitor, error) {
+	return obs.StartMonitor(addr, engine, progress)
+}
+
+// EngineSnapshot is one sample of an engine's live progress counters.
+type EngineSnapshot = core.EngineSnapshot
+
+// StartCPUProfile begins a CPU profile into path; call the returned stop
+// function when done.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	return obs.StartCPUProfile(path)
+}
+
+// WriteHeapProfile snapshots the heap into path (after a GC).
+func WriteHeapProfile(path string) error { return obs.WriteHeapProfile(path) }
 
 // SweepPoint is one point of a latency-versus-offered-load curve.
 type SweepPoint = core.SweepPoint

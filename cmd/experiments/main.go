@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"asyncnoc"
 	"asyncnoc/internal/experiments"
 )
 
@@ -36,6 +37,10 @@ func main() {
 		faults  = flag.Bool("faults", false, "also run the fault-injection robustness sweep")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		n       = flag.Int("n", 8, "MoT radix (the paper evaluates 8; 16 explores the future-work size)")
+		util    = flag.Bool("util", false, "also print the per-level fanout utilization table")
+		httpAd  = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -44,6 +49,21 @@ func main() {
 	s.N = *n
 	s.Seed = *seed
 	s.Workers = *workers
+
+	if *cpuProf != "" {
+		stop, err := asyncnoc.StartCPUProfile(*cpuProf)
+		check(err)
+		defer stop() //nolint:errcheck
+	}
+	if *memProf != "" {
+		defer func() { check(asyncnoc.WriteHeapProfile(*memProf)) }()
+	}
+	if *httpAd != "" {
+		mon, err := asyncnoc.StartMonitor(*httpAd, s.Engine(), nil)
+		check(err)
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor: http://%s/debug/vars\n", mon.Addr())
+	}
 
 	emit := func(name string, t *experiments.Table) {
 		fmt.Println(t.Format())
@@ -78,6 +98,12 @@ func main() {
 	pwr, err := s.Table1Power()
 	check(err)
 	emit("table1_power", pwr)
+
+	if *util {
+		ut, err := s.UtilizationTable()
+		check(err)
+		emit("utilization", ut)
+	}
 
 	if *faults {
 		sweep, err := s.FaultSweep(nil)

@@ -27,10 +27,37 @@ func main() {
 		maxFrac   = flag.Float64("maxfrac", 0.95, "highest load as a fraction of saturation")
 		seed      = flag.Uint64("seed", 7, "random seed")
 		workers   = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
+		httpAddr  = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	eng := asyncnoc.NewEngine(*workers)
+	if *cpuProf != "" {
+		stop, err := asyncnoc.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop() //nolint:errcheck
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := asyncnoc.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "loadsweep:", err)
+			}
+		}()
+	}
+	networkList := strings.Split(*networks, ",")
+	progress := asyncnoc.NewSweepProgress(len(networkList))
+	if *httpAddr != "" {
+		mon, err := asyncnoc.StartMonitor(*httpAddr, eng, progress)
+		if err != nil {
+			fatal(err)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor: http://%s/debug/vars\n", mon.Addr())
+	}
 	bench, err := asyncnoc.BenchmarkByName(*n, *benchName)
 	if err != nil {
 		fatal(err)
@@ -41,7 +68,7 @@ func main() {
 		Measure: 1200 * asyncnoc.Nanosecond,
 		Drain:   600 * asyncnoc.Nanosecond,
 	}
-	for _, name := range strings.Split(*networks, ",") {
+	for _, name := range networkList {
 		spec, err := asyncnoc.NetworkByName(*n, strings.TrimSpace(name))
 		if err != nil {
 			fatal(err)
@@ -50,6 +77,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		progress.JobDone()
 		fmt.Printf("\n%s / %s\n", spec.Name, bench.Name())
 		fmt.Printf("%10s %12s %12s %12s %10s\n", "frac sat", "load GF/s", "latency ns", "thr GF/s", "complete")
 		for _, p := range pts {

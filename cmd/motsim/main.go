@@ -51,6 +51,9 @@ func main() {
 		util        = flag.Bool("util", false, "print per-level fanout utilization after the run")
 		draw        = flag.Bool("draw", false, "print the fanout-tree placement diagram and exit")
 		hist        = flag.Bool("hist", false, "print a latency histogram after the run")
+		traceOut    = flag.String("trace-out", "", "stream the flit-lifecycle trace to this JSONL file (with -sat, traces the run at the saturation load)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		faults        = flag.Float64("faults", 0, "shorthand: corrupt AND drop rate per channel traversal")
 		faultCorrupt  = flag.Float64("fault-corrupt", 0, "payload bit-flip probability per channel traversal")
@@ -75,6 +78,21 @@ func main() {
 			fmt.Printf("  %s\n", b.Name())
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		stop, err := asyncnoc.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop() //nolint:errcheck
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := asyncnoc.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "motsim:", err)
+			}
+		}()
 	}
 
 	spec, err := asyncnoc.NetworkByName(*n, *networkName)
@@ -140,52 +158,33 @@ func main() {
 		fmt.Printf("saturation throughput: %.3f GF/s per source (delivered)\n", res.ThroughputGFs)
 		fmt.Printf("zero-load latency:     %.2f ns\n", res.ZeroLoadLatencyNs)
 		fmt.Printf("latency at saturation: %.2f ns\n", res.AtSaturation.AvgLatencyNs)
+		if *traceOut != "" {
+			// Trace one deterministic run at the saturation load: the
+			// engine finds the same load at any pool size, so the trace is
+			// byte-identical across -workers values.
+			tcfg := cfg
+			tcfg.LoadGFs = res.SatLoadGFs
+			if _, err := runInstrumented(spec, tcfg, *traceOut, false, false, ""); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written:         %s\n", *traceOut)
+		}
 		return
 	}
 
 	var res asyncnoc.RunResult
-	if *util || *hist {
-		nw, err := asyncnoc.Build(spec, cfg)
+	if *util || *hist || *vcdPath != "" || *traceOut != "" {
+		r, err := runInstrumented(spec, cfg, *traceOut, *util, *hist, *vcdPath)
 		if err != nil {
 			fatal(err)
 		}
-		var u *asyncnoc.Utilization
-		if *util {
-			u = asyncnoc.AttachUtilization(nw)
+		res = r
+		if *vcdPath != "" {
+			fmt.Printf("vcd written:      %s\n", *vcdPath)
 		}
-		nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
-		res = asyncnoc.Collect(nw, cfg)
-		if u != nil {
-			fmt.Print(u.String())
+		if *traceOut != "" {
+			fmt.Printf("trace written:    %s\n", *traceOut)
 		}
-		if *hist {
-			if samples := nw.Rec.LatenciesNs(); len(samples) > 0 {
-				fmt.Println("latency histogram (ns):")
-				fmt.Print(asyncnoc.FormatLatencyHistogram(samples, 12, 40))
-			}
-		}
-	} else if *vcdPath != "" {
-		nw, err := asyncnoc.Build(spec, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		f, err := os.Create(*vcdPath)
-		if err != nil {
-			fatal(err)
-		}
-		rec, err := asyncnoc.AttachVCD(nw, f)
-		if err != nil {
-			fatal(err)
-		}
-		nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
-		if err := rec.Close(); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		res = asyncnoc.Collect(nw, cfg)
-		fmt.Printf("vcd written:      %s\n", *vcdPath)
 	} else {
 		r, err := asyncnoc.Run(spec, cfg)
 		if err != nil {
@@ -197,7 +196,9 @@ func main() {
 	fmt.Printf("benchmark:        %s\n", res.Benchmark)
 	fmt.Printf("offered load:     %.3f GF/s per source\n", res.LoadGFs)
 	fmt.Printf("avg latency:      %.2f ns\n", res.AvgLatencyNs)
+	fmt.Printf("p50 latency:      %.2f ns\n", res.P50LatencyNs)
 	fmt.Printf("p95 latency:      %.2f ns\n", res.P95LatencyNs)
+	fmt.Printf("p99 latency:      %.2f ns\n", res.P99LatencyNs)
 	fmt.Printf("throughput:       %.3f GF/s per source (delivered)\n", res.ThroughputGFs)
 	fmt.Printf("network power:    %.2f mW\n", res.PowerMW)
 	fmt.Printf("completion:       %.1f%% of %d measured packets\n", 100*res.Completion, res.MeasuredPackets)
@@ -207,6 +208,69 @@ func main() {
 		fmt.Printf("recovered flits:  %d\n", res.RecoveredFlits)
 		fmt.Printf("lost flits:       %d (%d packet(s) written off)\n", res.LostFlits, res.LostPackets)
 	}
+}
+
+// runInstrumented executes one run with the requested instruments
+// attached to a single built network: a JSONL trace sink, per-level
+// utilization counters, a latency histogram, and/or a VCD dump.
+func runInstrumented(spec asyncnoc.NetworkSpec, cfg asyncnoc.RunConfig, tracePath string, util, hist bool, vcdPath string) (asyncnoc.RunResult, error) {
+	nw, err := asyncnoc.Build(spec, cfg)
+	if err != nil {
+		return asyncnoc.RunResult{}, err
+	}
+	var u *asyncnoc.Utilization
+	if util {
+		u = asyncnoc.AttachUtilization(nw)
+	}
+	var sink *asyncnoc.TraceSink
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+		sink = asyncnoc.AttachTraceJSONL(nw, traceFile)
+	}
+	var vcdRec *asyncnoc.VCDRecorder
+	var vcdFile *os.File
+	if vcdPath != "" {
+		vcdFile, err = os.Create(vcdPath)
+		if err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+		vcdRec, err = asyncnoc.AttachVCD(nw, vcdFile)
+		if err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+	}
+	nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+		if err := traceFile.Close(); err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+	}
+	if vcdRec != nil {
+		if err := vcdRec.Close(); err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+		if err := vcdFile.Close(); err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+	}
+	res := asyncnoc.Collect(nw, cfg)
+	if u != nil {
+		fmt.Print(u.String())
+	}
+	if hist {
+		if samples := nw.Rec.LatenciesNs(); len(samples) > 0 {
+			fmt.Println("latency histogram (ns):")
+			fmt.Print(asyncnoc.FormatLatencyHistogram(samples, 12, 40))
+		}
+	}
+	return res, nil
 }
 
 // parseStuck parses the -fault-stuck syntax: comma-separated

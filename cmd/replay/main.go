@@ -29,10 +29,26 @@ func main() {
 		n           = flag.Int("n", 8, "MoT radix")
 		file        = flag.String("file", "", "CSV schedule file (time_ns,src,dest[,dest...])")
 		drain       = flag.Int("drain", 2000, "extra simulated time after the last injection (ns)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *file == "" {
 		fatal(fmt.Errorf("need -file"))
+	}
+	if *cpuProf != "" {
+		stop, err := asyncnoc.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop() //nolint:errcheck
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := asyncnoc.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "replay:", err)
+			}
+		}()
 	}
 	spec, err := asyncnoc.NetworkByName(*n, *networkName)
 	if err != nil {

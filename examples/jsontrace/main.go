@@ -1,0 +1,109 @@
+// Jsontrace: the JSONL trace workflow. Runs a short simulation of the
+// hybrid network with the structured trace sink attached, streams the
+// flit-lifecycle events (inject → forward → throttle → deliver) to a
+// file, then re-reads and schema-validates the trace and summarizes the
+// event mix — the same pipeline `motsim -trace-out` uses, shown as
+// library calls.
+//
+// With -validate FILE the program instead only schema-checks an existing
+// trace (used by `make obs-smoke`):
+//
+//	jsontrace -validate trace.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"asyncnoc"
+)
+
+func main() {
+	validate := flag.String("validate", "", "schema-check an existing JSONL trace and exit")
+	out := flag.String("out", "hybrid_trace.jsonl", "trace output file")
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		n, err := asyncnoc.ValidateTrace(f)
+		if err != nil {
+			log.Fatalf("%s: %v", *validate, err)
+		}
+		fmt.Printf("%s: %d events, schema OK\n", *validate, n)
+		return
+	}
+
+	spec := asyncnoc.OptHybridSpeculative(8)
+	cfg := asyncnoc.RunConfig{
+		Bench:   asyncnoc.MulticastFraction(8, 0.10),
+		LoadGFs: 0.3,
+		Seed:    1,
+		Warmup:  50 * asyncnoc.Nanosecond,
+		Measure: 200 * asyncnoc.Nanosecond,
+		Drain:   100 * asyncnoc.Nanosecond,
+	}
+	nw, err := asyncnoc.Build(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := asyncnoc.AttachTraceJSONL(nw, f)
+	nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+	if err := sink.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	res := asyncnoc.Collect(nw, cfg)
+	fmt.Printf("traced %s under %s: %d events -> %s\n",
+		spec.Name, cfg.Bench.Name(), sink.Events(), *out)
+	fmt.Printf("avg latency %.2f ns, p99 %.2f ns, redundant fraction %.1f%%\n",
+		res.AvgLatencyNs, res.P99LatencyNs, 100*res.RedundantFraction)
+
+	// Re-read: validate the schema and tally the event mix.
+	rf, err := os.Open(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	if _, err := asyncnoc.ValidateTrace(rf); err != nil {
+		log.Fatalf("trace failed validation: %v", err)
+	}
+	if _, err := rf.Seek(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(rf)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		counts[ev.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Println("event mix:")
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %7d\n", k, counts[k])
+	}
+}

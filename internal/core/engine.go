@@ -28,6 +28,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"asyncnoc/internal/network"
 )
@@ -107,6 +108,11 @@ type Engine struct {
 	cap   int
 
 	hits, misses uint64
+
+	// started/completed count unique (non-memoized) computations; they
+	// are atomics so the monitoring endpoint can sample progress without
+	// contending on the engine lock.
+	started, completed atomic.Uint64
 }
 
 // NewEngine returns an engine with the given pool size; workers <= 0
@@ -142,6 +148,46 @@ func (e *Engine) Stats() (hits, misses uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.hits, e.misses
+}
+
+// EngineSnapshot is one sample of the engine's live progress counters.
+type EngineSnapshot struct {
+	// Workers is the pool size.
+	Workers int
+	// Hits and Misses are the memo counters: Hits/(Hits+Misses) is the
+	// dedup rate of the workload so far.
+	Hits, Misses uint64
+	// Started and Completed count unique simulations begun and finished;
+	// Started-Completed simulations are executing right now.
+	Started, Completed uint64
+}
+
+// InFlight returns how many unique simulations are executing.
+func (s EngineSnapshot) InFlight() uint64 { return s.Started - s.Completed }
+
+// HitRate returns the memo hit fraction (0 before any lookup).
+func (s EngineSnapshot) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Snapshot samples the engine's progress counters. Safe to call
+// concurrently with running jobs; the counters are individually atomic
+// (the snapshot is not a single consistent cut, which monitoring does
+// not need).
+func (e *Engine) Snapshot() EngineSnapshot {
+	e.mu.Lock()
+	hits, misses := e.hits, e.misses
+	e.mu.Unlock()
+	return EngineSnapshot{
+		Workers:   e.workers,
+		Hits:      hits,
+		Misses:    misses,
+		Started:   e.started.Load(),
+		Completed: e.completed.Load(),
+	}
 }
 
 // evictLocked drops completed entries from the LRU tail until the memo
@@ -183,7 +229,9 @@ func (e *Engine) RunContext(ctx context.Context, spec network.Spec, cfg RunConfi
 			e.forget(ent)
 			return RunResult{}, ctx.Err()
 		}
+		e.started.Add(1)
 		ent.res, ent.err = runSafely(ctx, spec, cfg)
+		e.completed.Add(1)
 		<-e.sem
 		close(ent.done)
 		if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {

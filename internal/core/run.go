@@ -51,6 +51,11 @@ func (c RunConfig) Validate() error {
 	return nil
 }
 
+// MaxLevels is the deepest fanout tree the topology supports (N ≤ 64 ⇒
+// log2(N) ≤ 6); RunResult's per-level counters are sized to it so the
+// struct stays comparable.
+const MaxLevels = 6
+
 // RunResult summarizes one run.
 type RunResult struct {
 	Network   string
@@ -60,8 +65,12 @@ type RunResult struct {
 	// AvgLatencyNs is the mean network latency (injection to arrival of
 	// all headers) of packets injected inside the measurement window.
 	AvgLatencyNs float64
+	// P50LatencyNs is the median latency.
+	P50LatencyNs float64
 	// P95LatencyNs is the 95th-percentile latency.
 	P95LatencyNs float64
+	// P99LatencyNs is the 99th-percentile latency.
+	P99LatencyNs float64
 	// ThroughputGFs is the accepted throughput: flit deliveries in the
 	// window per nanosecond per source.
 	ThroughputGFs float64
@@ -72,6 +81,25 @@ type RunResult struct {
 	Completion float64
 	// MeasuredPackets is the number of packets injected in the window.
 	MeasuredPackets int
+	// LostMeasuredPackets is how many measured-window packets the fault
+	// layer wrote off after the retry budget (0 without faults).
+	LostMeasuredPackets int
+
+	// Levels is the fanout tree depth; only the first Levels entries of
+	// the per-level counters below are meaningful.
+	Levels int
+	// ForwardsPerLevel and ThrottlesPerLevel count fanout flit movements
+	// per tree level (root first, fixed-size so RunResult stays
+	// comparable and memo-safe) inside the measurement window: forwards
+	// are flits committed to output ports, throttles are redundant
+	// speculative copies absorbed. Together they quantify the paper's
+	// locality claim — speculation waste dying one level below each
+	// speculative node.
+	ForwardsPerLevel  [MaxLevels]int64
+	ThrottlesPerLevel [MaxLevels]int64
+	// RedundantFraction is throttled flits over all fanout movements in
+	// the window.
+	RedundantFraction float64
 
 	// Fault-layer counters, all zero when the spec's fault config is
 	// disabled (see fault.Stats for the precise semantics).
@@ -252,8 +280,18 @@ func Collect(nw *network.Network, cfg RunConfig) RunResult {
 		Completion:      nw.Rec.CompletionRate(),
 		MeasuredPackets: nw.Rec.MeasuredCreated(),
 	}
-	res.AvgLatencyNs, _ = nw.Rec.AvgLatencyNs()
-	res.P95LatencyNs, _ = nw.Rec.P95LatencyNs()
+	if sum := nw.Rec.LatencySummary(); sum.Count() > 0 {
+		// Sort-once summary: one sort serves all four latency figures.
+		res.AvgLatencyNs = sum.Mean()
+		res.P50LatencyNs = sum.P50()
+		res.P95LatencyNs = sum.P95()
+		res.P99LatencyNs = sum.P99()
+	}
+	res.LostMeasuredPackets = nw.Rec.MeasuredLost()
+	res.Levels = nw.MoT.Levels
+	copy(res.ForwardsPerLevel[:], nw.Rec.ForwardsPerLevel())
+	copy(res.ThrottlesPerLevel[:], nw.Rec.ThrottlesPerLevel())
+	res.RedundantFraction = nw.Rec.RedundantFraction()
 	if fs := nw.FaultStats(); fs != nil {
 		res.FaultsInjected = fs.Injected
 		res.Retries = fs.Retries

@@ -396,6 +396,55 @@ func (s *Suite) Table1Power() (*Table, error) {
 	return t, nil
 }
 
+// UtilizationTable reports the per-level fanout utilization of every
+// network at 25% of its own saturation under Multicast10 traffic: flits
+// forwarded and redundant speculative copies throttled per tree level
+// (root = L0), plus the network-wide redundant fraction. The throttle
+// columns make the paper's locality claim directly visible — speculative
+// copies die at the levels just below each speculative region. The runs
+// coincide with the Fig. 6 measurement points, so they are engine memo
+// hits when both tables are built.
+func (s *Suite) UtilizationTable() (*Table, error) {
+	specs := core.AllSpecs(s.N)
+	benches := []traffic.Benchmark{traffic.Multicast{N: s.N, Frac: 0.10}}
+	if err := s.Prefetch(specs, benches); err != nil {
+		return nil, err
+	}
+	results, err := s.runMatrix(specs, benches, s.latencyAtQuarter)
+	if err != nil {
+		return nil, err
+	}
+	var levels int
+	for _, r := range results {
+		levels = r.Levels
+	}
+	cols := []string{"network"}
+	for l := 0; l < levels; l++ {
+		cols = append(cols, fmt.Sprintf("L%d fwd", l), fmt.Sprintf("L%d thr", l))
+	}
+	cols = append(cols, "redundant")
+	t := &Table{
+		Title:   "Per-level fanout utilization at 25% saturation, Multicast10 (fwd = forwards, thr = throttled speculative copies)",
+		Columns: cols,
+		Notes: []string{
+			"levels are fanout tree levels, root = L0; counts are window-scoped flit movements",
+			"redundant = throttled / (forwarded + throttled): the locality of speculation waste",
+		},
+	}
+	for _, spec := range specs {
+		r := results[spec.Name+"|"+benches[0].Name()]
+		row := []string{spec.Name}
+		for l := 0; l < levels; l++ {
+			row = append(row,
+				fmt.Sprintf("%d", r.ForwardsPerLevel[l]),
+				fmt.Sprintf("%d", r.ThrottlesPerLevel[l]))
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", 100*r.RedundantFraction))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
 // Addressing regenerates the Section 5.2(d) address-size comparison for
 // 8x8 and 16x16 MoTs.
 func Addressing() (*Table, error) {

@@ -31,9 +31,30 @@ type Recorder struct {
 	pkts        map[uint64]*pktStat
 	latenciesNs []float64
 
+	// summary caches the sort-once latency summary; it is invalidated
+	// whenever a new sample lands (summaryN trails len(latenciesNs)).
+	summary  *stats.Summary
+	summaryN int
+
+	// lossTolerant accepts header arrivals of unregistered packets:
+	// with the fault layer's retry budget, a packet can be written off
+	// (PacketLost) while its final attempt's flits are still in flight,
+	// so a late header is a legitimate straggler rather than a protocol
+	// violation. Off by default — fault-free networks keep the strict
+	// unregistered-delivery panic.
+	lossTolerant bool
+	lateHeaders  int
+
 	deliveredFlits  int64
 	measuredCreated int
 	measuredDone    int
+	lostPackets     int
+	measuredLost    int
+
+	// levelForwards/levelThrottles count fanout activity per tree level
+	// inside the measurement window (root level first).
+	levelForwards  []int64
+	levelThrottles []int64
 }
 
 // NewRecorder returns a Recorder with an open-ended window; call
@@ -48,6 +69,18 @@ func NewRecorder() *Recorder {
 // SetWindow fixes the measurement window.
 func (r *Recorder) SetWindow(start, end sim.Time) {
 	r.WindowStart, r.WindowEnd = start, end
+}
+
+// SetLossTolerant arms fault-mode accounting: header arrivals of packets
+// already written off by PacketLost are counted as late stragglers
+// instead of panicking.
+func (r *Recorder) SetLossTolerant(on bool) { r.lossTolerant = on }
+
+// SetLevels sizes the per-level fanout utilization counters for a
+// network with `levels` fanout tree levels.
+func (r *Recorder) SetLevels(levels int) {
+	r.levelForwards = make([]int64, levels)
+	r.levelThrottles = make([]int64, levels)
 }
 
 func (r *Recorder) inWindow(t sim.Time) bool {
@@ -67,16 +100,28 @@ func (r *Recorder) PacketCreated(p *packet.Packet, now sim.Time) {
 	}
 }
 
+// logicalOf resolves a serial clone to its registered parent packet.
+func logicalOf(p *packet.Packet) *packet.Packet {
+	if p.Parent != nil {
+		return p.Parent
+	}
+	return p
+}
+
 // HeaderArrived records the arrival of a header flit of packet p (or of a
 // serial clone of p) at destination dest. Duplicate deliveries indicate a
 // throttling failure and panic.
 func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
-	logical := p
-	if p.Parent != nil {
-		logical = p.Parent
-	}
+	logical := logicalOf(p)
 	st, ok := r.pkts[logical.ID]
 	if !ok {
+		if r.lossTolerant {
+			// A header of a packet already written off by the retry
+			// budget: the final attempt's flits were still in flight at
+			// write-off time.
+			r.lateHeaders++
+			return
+		}
 		panic(fault.Violationf("metrics", "header of unregistered packet %d", logical.ID))
 	}
 	if st.arrived.Has(dest) {
@@ -98,11 +143,81 @@ func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
 	}
 }
 
+// PacketLost removes a packet (or serial clone) written off by the
+// network interface's retransmission budget from delivery tracking, so
+// long fault runs do not accumulate per-packet state for packets that can
+// never complete. Losing an already-completed or already-lost packet is a
+// no-op.
+func (r *Recorder) PacketLost(p *packet.Packet, now sim.Time) {
+	logical := logicalOf(p)
+	st, ok := r.pkts[logical.ID]
+	if !ok {
+		return // already complete, or a sibling clone was lost first
+	}
+	delete(r.pkts, logical.ID)
+	r.lostPackets++
+	if st.measured {
+		r.measuredLost++
+	}
+}
+
 // FlitDelivered counts one flit landing at a destination interface.
 func (r *Recorder) FlitDelivered(now sim.Time) {
 	if r.inWindow(now) {
 		r.deliveredFlits++
 	}
+}
+
+// FanoutForwarded counts one flit committed to output ports by a fanout
+// node at the given tree level (root = 0).
+func (r *Recorder) FanoutForwarded(level int, now sim.Time) {
+	if r.levelForwards != nil && r.inWindow(now) {
+		r.levelForwards[level]++
+	}
+}
+
+// FanoutThrottled counts one redundant (speculative) flit absorbed by a
+// fanout node at the given tree level.
+func (r *Recorder) FanoutThrottled(level int, now sim.Time) {
+	if r.levelThrottles != nil && r.inWindow(now) {
+		r.levelThrottles[level]++
+	}
+}
+
+// ForwardsPerLevel returns the window-scoped per-level fanout forward
+// counts (nil when SetLevels was never called). The slice is a copy.
+func (r *Recorder) ForwardsPerLevel() []int64 {
+	return append([]int64(nil), r.levelForwards...)
+}
+
+// ThrottlesPerLevel returns the window-scoped per-level throttle counts.
+func (r *Recorder) ThrottlesPerLevel() []int64 {
+	return append([]int64(nil), r.levelThrottles...)
+}
+
+// RedundantFraction returns throttled flits as a fraction of all fanout
+// flit movements inside the window — the network-wide speculation waste.
+func (r *Recorder) RedundantFraction() float64 {
+	var fwd, thr int64
+	for i := range r.levelForwards {
+		fwd += r.levelForwards[i]
+		thr += r.levelThrottles[i]
+	}
+	if fwd+thr == 0 {
+		return 0
+	}
+	return float64(thr) / float64(fwd+thr)
+}
+
+// LatencySummary returns the sort-once summary of the completed measured
+// packets' latencies. The summary is cached and rebuilt only after new
+// samples arrive, so querying several percentiles costs one sort total.
+func (r *Recorder) LatencySummary() *stats.Summary {
+	if r.summary == nil || r.summaryN != len(r.latenciesNs) {
+		r.summary = stats.NewSummary(r.latenciesNs)
+		r.summaryN = len(r.latenciesNs)
+	}
+	return r.summary
 }
 
 // AvgLatencyNs returns the mean network latency of completed measured
@@ -111,7 +226,7 @@ func (r *Recorder) AvgLatencyNs() (float64, bool) {
 	if len(r.latenciesNs) == 0 {
 		return 0, false
 	}
-	return stats.Mean(r.latenciesNs), true
+	return r.LatencySummary().Mean(), true
 }
 
 // P95LatencyNs returns the 95th-percentile latency of measured packets.
@@ -119,7 +234,7 @@ func (r *Recorder) P95LatencyNs() (float64, bool) {
 	if len(r.latenciesNs) == 0 {
 		return 0, false
 	}
-	return stats.Percentile(r.latenciesNs, 95), true
+	return r.LatencySummary().P95(), true
 }
 
 // LatenciesNs exposes the raw samples (for tests and histograms).
@@ -142,6 +257,22 @@ func (r *Recorder) MeasuredCreated() int { return r.measuredCreated }
 
 // MeasuredCompleted returns how many of them have fully completed.
 func (r *Recorder) MeasuredCompleted() int { return r.measuredDone }
+
+// MeasuredLost returns how many measured-window packets were written off
+// by the retransmission budget (PacketLost).
+func (r *Recorder) MeasuredLost() int { return r.measuredLost }
+
+// LostPackets returns the total packets written off across the whole run.
+func (r *Recorder) LostPackets() int { return r.lostPackets }
+
+// LateHeaders returns how many header arrivals landed after their packet
+// was written off (loss-tolerant mode only).
+func (r *Recorder) LateHeaders() int { return r.lateHeaders }
+
+// TrackedPackets returns the number of packets currently held in the
+// delivery-tracking map (tests: soak runs must not grow this without
+// bound).
+func (r *Recorder) TrackedPackets() int { return len(r.pkts) }
 
 // CompletionRate returns the fraction of measured packets that completed
 // (1 when nothing was measured — an idle network is not congested).

@@ -153,6 +153,217 @@ func TestUnregisteredDeliveryPanics(t *testing.T) {
 	r.HeaderArrived(mkPkt(9, packet.Dest(0), 0), 0, 10)
 }
 
+// Window boundaries are half-open [WindowStart, WindowEnd): a packet
+// created exactly at WindowEnd is NOT measured, one created exactly at
+// WindowStart is.
+func TestPacketCreatedAtWindowBoundaries(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 200)
+	atStart := mkPkt(1, packet.Dest(0), 100)
+	atEnd := mkPkt(2, packet.Dest(1), 200)
+	r.PacketCreated(atStart, 100)
+	r.PacketCreated(atEnd, 200)
+	if r.MeasuredCreated() != 1 {
+		t.Errorf("measured %d, want 1 (WindowEnd is exclusive, WindowStart inclusive)", r.MeasuredCreated())
+	}
+	r.HeaderArrived(atStart, 0, 150)
+	r.HeaderArrived(atEnd, 1, 250)
+	if r.MeasuredCompleted() != 1 || len(r.LatenciesNs()) != 1 {
+		t.Errorf("completed %d samples %d, want 1/1", r.MeasuredCompleted(), len(r.LatenciesNs()))
+	}
+}
+
+// A flit delivery exactly at WindowStart counts; exactly at WindowEnd
+// does not (the window is half-open on both metrics).
+func TestFlitDeliveredAtWindowBoundaries(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 1100) // 1 ns window
+	r.FlitDelivered(100)   // at start: included
+	r.FlitDelivered(1099)  // last included instant
+	r.FlitDelivered(1100)  // at end: excluded
+	if got := r.ThroughputGFs(1); got != 2.0 {
+		t.Errorf("throughput = %v GF/s, want 2.0 (2 flits in 1 ns)", got)
+	}
+}
+
+// A header arriving exactly at WindowStart completes a pre-window packet
+// without contributing a latency sample (measurement keys off creation
+// time, not arrival time).
+func TestHeaderAtWindowStartOfUnmeasuredPacket(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 200)
+	p := mkPkt(1, packet.Dest(0), 50)
+	r.PacketCreated(p, 50)
+	r.HeaderArrived(p, 0, 100)
+	if r.MeasuredCreated() != 0 || r.MeasuredCompleted() != 0 || len(r.LatenciesNs()) != 0 {
+		t.Error("pre-window packet leaked into measurement accounting")
+	}
+	if r.TrackedPackets() != 0 {
+		t.Error("completed packet still tracked")
+	}
+}
+
+func TestThroughputZeroLengthWindow(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 100)
+	r.FlitDelivered(100) // boundary of a zero-length window: excluded
+	if r.ThroughputGFs(4) != 0 {
+		t.Error("zero-length window must yield 0 throughput, not a division blow-up")
+	}
+	r.SetWindow(200, 100) // inverted window
+	if r.ThroughputGFs(4) != 0 {
+		t.Error("negative-length window must yield 0")
+	}
+}
+
+func TestPacketLost(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 200)
+	pre := mkPkt(1, packet.Dest(0), 50)
+	in := mkPkt(2, packet.Dest(1), 150)
+	r.PacketCreated(pre, 50)
+	r.PacketCreated(in, 150)
+	r.PacketLost(pre, 400)
+	r.PacketLost(in, 500)
+	if r.TrackedPackets() != 0 {
+		t.Errorf("tracked %d after losses, want 0", r.TrackedPackets())
+	}
+	if r.LostPackets() != 2 || r.MeasuredLost() != 1 {
+		t.Errorf("lost %d measured-lost %d, want 2/1", r.LostPackets(), r.MeasuredLost())
+	}
+	// Losing again (a retransmission timer racing the write-off) is a
+	// no-op, not a double count.
+	r.PacketLost(in, 600)
+	if r.LostPackets() != 2 {
+		t.Error("double loss double-counted")
+	}
+	if r.CompletionRate() != 0 {
+		t.Errorf("completion = %v, want 0 (the one measured packet was lost)", r.CompletionRate())
+	}
+}
+
+func TestPacketLostAfterCompletionIsNoop(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(0, 1000)
+	p := mkPkt(1, packet.Dest(0), 10)
+	r.PacketCreated(p, 10)
+	r.HeaderArrived(p, 0, 500)
+	r.PacketLost(p, 600)
+	if r.LostPackets() != 0 || r.MeasuredCompleted() != 1 {
+		t.Error("loss after completion must not be counted")
+	}
+}
+
+func TestPacketLostResolvesSerialClones(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(0, 1000)
+	parent := mkPkt(1, packet.Dests(0, 3), 50)
+	r.PacketCreated(parent, 50)
+	clone := &packet.Packet{ID: 2, Dests: packet.Dest(0), Parent: parent}
+	r.PacketLost(clone, 400)
+	if r.LostPackets() != 1 || r.MeasuredLost() != 1 || r.TrackedPackets() != 0 {
+		t.Error("clone loss did not write off the logical parent")
+	}
+}
+
+// Loss-tolerant mode: a header of a written-off packet still in flight is
+// a counted straggler, not a panic. Strict mode keeps the panic.
+func TestLateHeaderAfterLoss(t *testing.T) {
+	r := NewRecorder()
+	r.SetLossTolerant(true)
+	r.SetWindow(0, 1000)
+	p := mkPkt(1, packet.Dests(0, 1), 10)
+	r.PacketCreated(p, 10)
+	r.PacketLost(p, 300)
+	r.HeaderArrived(p, 0, 400) // must not panic
+	if r.LateHeaders() != 1 {
+		t.Errorf("late headers %d, want 1", r.LateHeaders())
+	}
+	if r.MeasuredCompleted() != 0 {
+		t.Error("straggler counted as completion")
+	}
+}
+
+// Soak-style regression: the tracking map must not grow with packets that
+// are dropped by the fault layer and never complete. Before the
+// PacketLost hook, every such packet leaked a pktStat forever.
+func TestRecorderMemoryBoundedUnderLosses(t *testing.T) {
+	r := NewRecorder()
+	r.SetLossTolerant(true)
+	r.SetWindow(0, sim.Never)
+	const packets = 100_000
+	high := 0
+	for i := 1; i <= packets; i++ {
+		p := mkPkt(uint64(i), packet.Dests(0, 1), sim.Time(i))
+		r.PacketCreated(p, sim.Time(i))
+		r.HeaderArrived(p, 0, sim.Time(i+1)) // partial delivery
+		r.PacketLost(p, sim.Time(i+2))       // then written off
+		if r.TrackedPackets() > high {
+			high = r.TrackedPackets()
+		}
+	}
+	if r.TrackedPackets() != 0 {
+		t.Errorf("%d packets still tracked after all were lost", r.TrackedPackets())
+	}
+	if high > 1 {
+		t.Errorf("tracking high-water mark %d, want <= 1 (memory grows with losses)", high)
+	}
+	if r.LostPackets() != packets {
+		t.Errorf("lost %d, want %d", r.LostPackets(), packets)
+	}
+}
+
+func TestLatencySummaryCachesSingleSort(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(0, sim.Never)
+	for i := 1; i <= 100; i++ {
+		p := mkPkt(uint64(i), packet.Dest(0), 0)
+		r.PacketCreated(p, 0)
+		r.HeaderArrived(p, 0, sim.Time(i*1000))
+	}
+	s1 := r.LatencySummary()
+	if s2 := r.LatencySummary(); s2 != s1 {
+		t.Error("summary not cached across queries")
+	}
+	avg, _ := r.AvgLatencyNs()
+	p95, _ := r.P95LatencyNs()
+	if avg != s1.Mean() || p95 != s1.P95() {
+		t.Error("legacy accessors disagree with the summary")
+	}
+	// A new sample invalidates the cache.
+	p := mkPkt(1000, packet.Dest(0), 0)
+	r.PacketCreated(p, 0)
+	r.HeaderArrived(p, 0, 500_000)
+	if s3 := r.LatencySummary(); s3 == s1 || s3.Count() != 101 {
+		t.Error("summary not rebuilt after a new sample")
+	}
+}
+
+func TestFanoutLevelCounters(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(100, 200)
+	r.SetLevels(3)
+	r.FanoutForwarded(0, 50) // before window: ignored
+	r.FanoutForwarded(0, 150)
+	r.FanoutForwarded(2, 199)
+	r.FanoutThrottled(1, 150)
+	r.FanoutThrottled(1, 200) // at WindowEnd: ignored
+	if f := r.ForwardsPerLevel(); f[0] != 1 || f[1] != 0 || f[2] != 1 {
+		t.Errorf("forwards %v", f)
+	}
+	if th := r.ThrottlesPerLevel(); th[1] != 1 || th[0] != 0 || th[2] != 0 {
+		t.Errorf("throttles %v", th)
+	}
+	if got := r.RedundantFraction(); got != 1.0/3 {
+		t.Errorf("redundant fraction %v, want 1/3", got)
+	}
+	// The returned slices are copies.
+	r.ForwardsPerLevel()[0] = 99
+	if r.ForwardsPerLevel()[0] != 1 {
+		t.Error("ForwardsPerLevel aliases internal state")
+	}
+}
+
 func TestP95(t *testing.T) {
 	r := NewRecorder()
 	r.SetWindow(0, sim.Never)

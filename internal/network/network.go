@@ -92,6 +92,12 @@ const (
 	TraceThrottle
 	// TraceDeliver marks a flit landing at a destination interface.
 	TraceDeliver
+	// TraceRetransmit marks a source NI re-injecting a packet after a
+	// missed end-to-end delivery deadline (fault mode only).
+	TraceRetransmit
+	// TraceDrop marks a source NI writing a packet off after the retry
+	// budget is exhausted (fault mode only).
+	TraceDrop
 )
 
 // String names the trace kind.
@@ -105,6 +111,10 @@ func (k TraceKind) String() string {
 		return "throttle"
 	case TraceDeliver:
 		return "deliver"
+	case TraceRetransmit:
+		return "retransmit"
+	case TraceDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}
@@ -190,10 +200,15 @@ func New(spec Spec) (*Network, error) {
 		Rec:       metrics.NewRecorder(),
 		Meter:     power.NewMeter(sched.Now),
 	}
+	nw.Rec.SetLevels(m.Levels)
 	if spec.Faults.Enabled() {
 		// The injector must exist before build(): every channel draws its
 		// fault stream in wiring order.
 		nw.inj = fault.NewInjector(spec.Faults)
+		// With a retry budget a packet can be written off while its last
+		// attempt's flits are still in flight; those stragglers must not
+		// trip the strict unregistered-delivery panic.
+		nw.Rec.SetLossTolerant(true)
 	}
 	nw.build()
 	for _, st := range spec.Faults.Stuck {
@@ -288,14 +303,17 @@ func (nw *Network) build() {
 				fo.Clock(nw.Spec.SyncPeriod)
 			}
 			tree, heap, area := t, k, fo.Timing().AreaUm2
+			level := nw.MoT.LevelOf(k)
 			fo.OnForward = func(f packet.Flit, ports int) {
 				nw.Meter.NodeForward(area, ports)
+				nw.Rec.FanoutForwarded(level, nw.Sched.Now())
 				if nw.Trace != nil {
 					nw.Trace(TraceEvent{Kind: TraceForward, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap, Ports: ports})
 				}
 			}
 			fo.OnAbsorb = func(f packet.Flit) {
 				nw.Meter.NodeAbsorb(area)
+				nw.Rec.FanoutThrottled(level, nw.Sched.Now())
 				if nw.Trace != nil {
 					nw.Trace(TraceEvent{Kind: TraceThrottle, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap})
 				}
@@ -537,10 +555,21 @@ func (ni *SourceNI) timeout(st *txState) {
 		stats.LostFlits += st.pkt.Length * st.outstanding.Count()
 		stats.LostPackets++
 		delete(ni.tx, st.pkt.ID)
+		// Release the recorder's per-packet tracking state: the packet
+		// can never complete, and soak runs must not accumulate it.
+		ni.nw.Rec.PacketLost(st.pkt, ni.nw.Sched.Now())
+		if ni.nw.Trace != nil {
+			ni.nw.Trace(TraceEvent{Kind: TraceDrop, At: ni.nw.Sched.Now(),
+				Flit: packet.Flit{Pkt: st.pkt, Attempt: st.attempts}})
+		}
 		return
 	}
 	st.attempts++
 	stats.Retries++
+	if ni.nw.Trace != nil {
+		ni.nw.Trace(TraceEvent{Kind: TraceRetransmit, At: ni.nw.Sched.Now(),
+			Flit: packet.Flit{Pkt: st.pkt, Attempt: st.attempts}})
+	}
 	fs := st.pkt.Flits()
 	for i := range fs {
 		fs[i].Attempt = st.attempts

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// traceLine is the parsed view of one trace event the validator needs.
+type traceLine struct {
+	kind string
+	t    int64
+}
+
+// parseTraceLine decodes and schema-checks one JSONL trace line.
+func parseTraceLine(line []byte) (traceLine, error) {
+	var obj map[string]any
+	if err := json.Unmarshal(line, &obj); err != nil {
+		return traceLine{}, fmt.Errorf("not a JSON object: %w", err)
+	}
+	kind, ok := obj["kind"].(string)
+	if !ok {
+		return traceLine{}, fmt.Errorf("missing string field %q", "kind")
+	}
+	specific, known := traceFields[kind]
+	if !known {
+		return traceLine{}, fmt.Errorf("unknown event kind %q", kind)
+	}
+	t, err := intField(obj, "t")
+	if err != nil {
+		return traceLine{}, err
+	}
+	if t < 0 {
+		return traceLine{}, fmt.Errorf("negative timestamp %d", t)
+	}
+	if _, err := intField(obj, "pkt"); err != nil {
+		return traceLine{}, err
+	}
+	if _, err := intField(obj, "src"); err != nil {
+		return traceLine{}, err
+	}
+	for _, f := range specific {
+		if f == "dests" {
+			ds, ok := obj["dests"].([]any)
+			if !ok || len(ds) == 0 {
+				return traceLine{}, fmt.Errorf("%s event needs a non-empty %q array", kind, "dests")
+			}
+			continue
+		}
+		if _, err := intField(obj, f); err != nil {
+			return traceLine{}, fmt.Errorf("%s event: %w", kind, err)
+		}
+	}
+	// Exactly the expected fields: kind + t + pkt + src + the specifics.
+	if want := 4 + len(specific); len(obj) != want {
+		return traceLine{}, fmt.Errorf("%s event has %d fields, want %d", kind, len(obj), want)
+	}
+	return traceLine{kind: kind, t: t}, nil
+}
+
+// intField extracts an integer-valued JSON number.
+func intField(obj map[string]any, name string) (int64, error) {
+	v, ok := obj[name].(float64)
+	if !ok {
+		return 0, fmt.Errorf("missing numeric field %q", name)
+	}
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("field %q is not an integer (%v)", name, v)
+	}
+	return int64(v), nil
+}

@@ -39,26 +39,129 @@ func StdDev(xs []float64) float64 {
 // Percentile returns the p-th percentile (0..100) by linear interpolation
 // between closest ranks. An empty slice yields 0 (no samples, no signal —
 // matching Mean); p outside [0,100] panics, as it is always a caller bug.
+//
+// Each call copies and sorts the input; callers that need several
+// percentiles of the same samples should build a Summary once instead.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is the closest-ranks interpolation shared by
+// Percentile and Summary; xs must be non-empty and ascending.
+func percentileSorted(xs []float64, p float64) float64 {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0]
+	if len(xs) == 1 {
+		return xs[0]
 	}
-	rank := p / 100 * float64(len(sorted)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo]
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// Summary is a sort-once descriptive summary of a sample set: the input
+// is copied and sorted exactly once at construction, after which every
+// percentile query is O(1). Mean and standard deviation are accumulated
+// over the input in its original order, so they are bit-identical to
+// Mean(xs) and StdDev(xs) on the unsorted slice.
+//
+// The zero value (and a nil *Summary) behaves as an empty sample set,
+// yielding zeros everywhere — matching the empty-slice conventions of the
+// package-level functions.
+type Summary struct {
+	sorted       []float64
+	mean, stddev float64
+}
+
+// NewSummary builds a summary of xs. The input is not retained or
+// mutated.
+func NewSummary(xs []float64) *Summary {
+	s := &Summary{
+		sorted: append([]float64(nil), xs...),
+		mean:   Mean(xs),
+		stddev: StdDev(xs),
+	}
+	sort.Float64s(s.sorted)
+	return s
+}
+
+// Count returns the number of samples summarized.
+func (s *Summary) Count() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.sorted)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.mean
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// when fewer than two samples exist.
+func (s *Summary) StdDev() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.stddev
+}
+
+// Min returns the smallest sample, or 0 for an empty summary.
+func (s *Summary) Min() float64 {
+	if s.Count() == 0 {
+		return 0
+	}
+	return s.sorted[0]
+}
+
+// Max returns the largest sample, or 0 for an empty summary.
+func (s *Summary) Max() float64 {
+	if s.Count() == 0 {
+		return 0
+	}
+	return s.sorted[len(s.sorted)-1]
+}
+
+// Percentile returns the p-th percentile without re-sorting; it agrees
+// exactly with the package-level Percentile on the same samples.
+func (s *Summary) Percentile(p float64) float64 {
+	if s.Count() == 0 {
+		return 0
+	}
+	return percentileSorted(s.sorted, p)
+}
+
+// P50 returns the median.
+func (s *Summary) P50() float64 { return s.Percentile(50) }
+
+// P95 returns the 95th percentile.
+func (s *Summary) P95() float64 { return s.Percentile(95) }
+
+// P99 returns the 99th percentile.
+func (s *Summary) P99() float64 { return s.Percentile(99) }
+
+// Histogram buckets the summarized samples into `bins` equal-width bins,
+// with the same conventions as the package-level Histogram.
+func (s *Summary) Histogram(bins int) []Bin {
+	if s == nil {
+		return nil
+	}
+	return Histogram(s.sorted, bins)
 }
 
 // Median returns the 50th percentile.
@@ -142,7 +245,10 @@ func FormatHistogram(bins []Bin, barWidth int) string {
 	for _, b := range bins {
 		n := 0
 		if maxCount > 0 {
-			n = b.Count * barWidth / maxCount
+			// Float math: b.Count * barWidth overflows int for the
+			// sample counts of long soak runs, turning the bar length
+			// negative (and strings.Repeat panics on negative counts).
+			n = int(float64(b.Count) * float64(barWidth) / float64(maxCount))
 		}
 		fmt.Fprintf(&sb, "%8.2f-%-8.2f %6d %s\n", b.Lo, b.Hi, b.Count, strings.Repeat("#", n))
 	}

@@ -159,6 +159,179 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// Golden interpolation values: exact ranks return the sample itself,
+// fractional ranks interpolate linearly between the two closest ranks.
+func TestPercentileGoldenValues(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50} // ranks 0..4, rank = p/100*4
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10},    // rank 0.0: exact
+		{25, 20},   // rank 1.0: exact
+		{50, 30},   // rank 2.0: exact
+		{75, 40},   // rank 3.0: exact
+		{100, 50},  // rank 4.0: exact
+		{10, 14},   // rank 0.4: 10 + 0.4*(20-10)
+		{37.5, 25}, // rank 1.5: midpoint of 20 and 30
+		{90, 46},   // rank 3.6: 40 + 0.6*(50-40)
+		{95, 48},   // rank 3.8
+		{99, 49.6}, // rank 3.96
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// Summary must agree exactly (bit-for-bit, not just approximately) with
+// the one-shot functions it replaces: the golden regression locks format
+// run measurements to 4 decimals, so any drift would break them.
+func TestSummaryMatchesOneShotFunctions(t *testing.T) {
+	xs := []float64{3.25, 1.5, 2.75, 9.125, 4.0, 4.0, 0.5, 7.875}
+	s := NewSummary(xs)
+	if s.Mean() != Mean(xs) {
+		t.Errorf("Mean: summary %v != one-shot %v", s.Mean(), Mean(xs))
+	}
+	if s.StdDev() != StdDev(xs) {
+		t.Errorf("StdDev: summary %v != one-shot %v", s.StdDev(), StdDev(xs))
+	}
+	if s.Min() != Min(xs) || s.Max() != Max(xs) {
+		t.Error("Min/Max disagree")
+	}
+	for p := 0.0; p <= 100; p += 2.5 {
+		if s.Percentile(p) != Percentile(xs, p) {
+			t.Errorf("Percentile(%v): summary %v != one-shot %v", p, s.Percentile(p), Percentile(xs, p))
+		}
+	}
+	if s.P50() != Median(xs) || s.P95() != Percentile(xs, 95) || s.P99() != Percentile(xs, 99) {
+		t.Error("named percentiles disagree")
+	}
+	if s.Count() != len(xs) {
+		t.Errorf("Count = %d", s.Count())
+	}
+	hg, hs := Histogram(xs, 4), s.Histogram(4)
+	if len(hg) != len(hs) {
+		t.Fatalf("histogram bins %d vs %d", len(hs), len(hg))
+	}
+	for i := range hg {
+		if hg[i] != hs[i] {
+			t.Errorf("bin %d: %+v vs %+v", i, hs[i], hg[i])
+		}
+	}
+}
+
+func TestSummaryEmptyAndNil(t *testing.T) {
+	var nilSum *Summary
+	for name, s := range map[string]*Summary{"nil": nilSum, "empty": NewSummary(nil)} {
+		if s.Count() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 ||
+			s.Percentile(50) != 0 || s.P95() != 0 {
+			t.Errorf("%s summary not all-zero", name)
+		}
+		if s.Histogram(4) != nil {
+			t.Errorf("%s summary histogram not nil", name)
+		}
+	}
+}
+
+func TestSummaryDoesNotRetainInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := NewSummary(xs)
+	xs[0] = 99
+	if s.Max() != 3 {
+		t.Error("Summary aliases its input slice")
+	}
+	if xs[1] != 1 || xs[2] != 2 {
+		t.Error("NewSummary mutated its input")
+	}
+}
+
+// Regression: bar scaling used b.Count * barWidth / maxCount in integer
+// math, which overflows (negative bar length, strings.Repeat panic) for
+// counts near math.MaxInt — reachable by long soak runs.
+func TestFormatHistogramHugeCounts(t *testing.T) {
+	bins := []Bin{
+		{Lo: 0, Hi: 1, Count: math.MaxInt},
+		{Lo: 1, Hi: 2, Count: math.MaxInt / 2},
+		{Lo: 2, Hi: 3, Count: 0},
+	}
+	out := FormatHistogram(bins, 40) // must not panic
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for i, ln := range lines {
+		if n := strings.Count(ln, "#"); n < 0 || n > 40 {
+			t.Errorf("line %d bar length %d outside [0,40]", i, n)
+		}
+	}
+	if n := strings.Count(lines[0], "#"); n != 40 {
+		t.Errorf("max-count bar length %d, want 40", n)
+	}
+	if half := strings.Count(lines[1], "#"); half < 19 || half > 21 {
+		t.Errorf("half-count bar length %d, want ~20", half)
+	}
+	if strings.Count(lines[2], "#") != 0 {
+		t.Error("zero-count bin drew a bar")
+	}
+}
+
+// FormatHistogram's float rescaling must reproduce the old integer-math
+// bar lengths exactly in the non-overflowing regime.
+func TestFormatHistogramMatchesIntegerMath(t *testing.T) {
+	for _, c := range []struct{ count, max, width, want int }{
+		{1, 3, 10, 3},
+		{2, 3, 10, 6},
+		{333, 1000, 3, 0},
+		{999, 1000, 40, 39},
+		{1000, 1000, 40, 40},
+		{7, 7, 1, 1},
+	} {
+		out := FormatHistogram([]Bin{{Count: c.max}, {Count: c.count}}, c.width)
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if got := strings.Count(lines[1], "#"); got != c.want {
+			t.Errorf("count %d/max %d width %d: bar %d, want %d", c.count, c.max, c.width, got, c.want)
+		}
+	}
+}
+
+// The benchmark pair demonstrates why the measurement path migrated to
+// Summary: computing mean+p50+p95+p99 via the one-shot functions re-sorts
+// the samples for every percentile, O(k·n log n); Summary sorts once.
+func benchSamples(n int) []float64 {
+	xs := make([]float64, n)
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		xs[i] = float64(seed >> 11)
+	}
+	return xs
+}
+
+func BenchmarkRepeatedPercentiles(b *testing.B) {
+	xs := benchSamples(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mean(xs)
+		_ = Percentile(xs, 50)
+		_ = Percentile(xs, 95)
+		_ = Percentile(xs, 99)
+	}
+}
+
+func BenchmarkSummaryOnce(b *testing.B) {
+	xs := benchSamples(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSummary(xs)
+		_ = s.Mean()
+		_ = s.P50()
+		_ = s.P95()
+		_ = s.P99()
+	}
+}
+
 func TestHistogramPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -146,10 +146,18 @@ func (w *Writer) emit(v *Var, val uint64) {
 	w.printf("b%b %s\n", val, v.id)
 }
 
-// Close flushes the stream.
+// Err returns the first error the writer has seen (nil if none): dump
+// loops can poll it to abort early instead of formatting megabytes of
+// value changes into a dead stream.
+func (w *Writer) Err() error { return w.err }
+
+// Close flushes the stream and returns the FIRST error of the writer's
+// lifetime. A format-time error latched by printf takes precedence over
+// (and is not masked by) a flush error, so intermediate Set/Begin
+// failures are never silently swallowed.
 func (w *Writer) Close() error {
-	if err := w.out.Flush(); err != nil {
-		return err
+	if err := w.out.Flush(); err != nil && w.err == nil {
+		w.err = err
 	}
 	return w.err
 }

@@ -1,8 +1,11 @@
 package vcd
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"asyncnoc/internal/sim"
 )
 
 func TestIDCode(t *testing.T) {
@@ -140,6 +143,57 @@ func TestScopesSortedAndClosed(t *testing.T) {
 	}
 	if strings.Count(out, "$scope") != strings.Count(out, "$upscope") {
 		t.Error("unbalanced scopes")
+	}
+}
+
+// failWriter accepts the first `allow` bytes and then fails every write
+// with its own distinct error.
+type failWriter struct {
+	allow int
+	n     int
+	err   error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > w.allow {
+		return 0, w.err
+	}
+	return len(p), nil
+}
+
+// A mid-dump write failure must surface from Close as the FIRST error,
+// not be masked by the flush error that inevitably follows (the bufio
+// layer re-fails on flush once the sink is dead).
+func TestCloseReturnsFirstWriteError(t *testing.T) {
+	sinkErr := errors.New("sink failed")
+	fw := &failWriter{allow: 64, err: sinkErr}
+	w := NewWriter(fw)
+	x := w.AddWire("top", "x", 1)
+	_ = w.Begin()
+	// Push well past both the sink's allowance and bufio's 4 KiB buffer
+	// so the error is hit during the dump, not only at Close.
+	for i := 1; i < 10000; i++ {
+		_ = w.SetTime(sim.Time(i))
+		x.Toggle()
+	}
+	if err := w.Err(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Err() = %v, want the latched sink error", err)
+	}
+	if err := w.Close(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Close() = %v, want the first sink error", err)
+	}
+}
+
+// Close must also report an error that only materializes at flush time
+// (a short dump that never overflowed the bufio buffer mid-run).
+func TestCloseReportsFlushOnlyError(t *testing.T) {
+	sinkErr := errors.New("sink failed")
+	w := NewWriter(&failWriter{allow: 0, err: sinkErr})
+	w.AddWire("top", "x", 1)
+	_ = w.Begin()
+	if err := w.Close(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Close() = %v, want the flush error", err)
 	}
 }
 
