@@ -93,6 +93,41 @@ const (
 // RunConfig parameterizes one simulation run.
 type RunConfig = core.RunConfig
 
+// DefaultRunConfig returns the paper's standard setup for an n-terminal
+// network: uniform random traffic at 0.4 GFs per source with the
+// Section 5.1 windows (320 ns warmup, 3200 ns measure, 800 ns drain)
+// and seed 1. Override individual fields before running.
+func DefaultRunConfig(n int) RunConfig { return core.DefaultRunConfig(n) }
+
+// ConfigError reports every invalid RunConfig field at once; its Fields
+// list one entry per problem, so callers assembling configurations from
+// flags or files see the whole repair list in one round trip.
+type ConfigError = core.ConfigError
+
+// FieldError names one invalid RunConfig field and the reason.
+type FieldError = core.FieldError
+
+// Instrument observes one simulation run: Attach hooks it onto the built
+// network before any event runs, Finish flushes it after the run.
+// Instruments ride along in RunConfig.Instruments through every run entry
+// point (Run, RunContext, Engine runs, RunSeeds, ...). Instrumented runs
+// are always executed fresh — never served from the engine's result memo —
+// so the instruments observe a real simulation. Each instrument instance
+// should be used for a single run.
+type Instrument = core.Instrument
+
+// VCDInstrument dumps handshake activity as an IEEE 1364 Value Change
+// Dump into Out; after the run its Rec field holds the recorder.
+type VCDInstrument = network.VCDInstrument
+
+// UtilizationInstrument collects per-level fanout activity counters;
+// after the run its U field holds the populated Utilization.
+type UtilizationInstrument = network.UtilizationInstrument
+
+// TraceInstrument streams flit-lifecycle events as deterministic JSONL
+// into Out; after the run its Sink field exposes the event count.
+type TraceInstrument = obs.TraceInstrument
+
 // RunResult carries one run's measurements.
 type RunResult = core.RunResult
 
@@ -292,6 +327,10 @@ type VCDRecorder = network.VCDRecorder
 // AttachVCD instruments a built network to dump its request toggles,
 // throttles, and deliveries as a VCD waveform; call Close on the returned
 // recorder after the run.
+//
+// Deprecated: set RunConfig.Instruments = []Instrument{&VCDInstrument{Out: out}}
+// instead; the instrument surface works through every run entry point
+// without dropping down to Build/Collect.
 func AttachVCD(nw *Network, out io.Writer) (*VCDRecorder, error) {
 	return network.AttachVCD(nw, out)
 }
@@ -357,6 +396,9 @@ type Utilization = network.Utilization
 
 // AttachUtilization instruments a built network with per-level activity
 // counters (chains any existing Trace callback).
+//
+// Deprecated: set RunConfig.Instruments = []Instrument{&UtilizationInstrument{}}
+// instead and read its U field after the run.
 func AttachUtilization(nw *Network) *Utilization { return network.AttachUtilization(nw) }
 
 // TraceSink streams a network's flit-lifecycle events as deterministic
@@ -367,6 +409,9 @@ type TraceSink = obs.TraceSink
 
 // AttachTraceJSONL chains a JSONL trace sink onto a built network
 // (preserving any existing Trace observer); Flush it after the run.
+//
+// Deprecated: set RunConfig.Instruments = []Instrument{&TraceInstrument{Out: w}}
+// instead; Finish (called by the run) flushes the sink.
 func AttachTraceJSONL(nw *Network, w io.Writer) *TraceSink {
 	return obs.AttachTraceJSONL(nw, w)
 }

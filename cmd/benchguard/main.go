@@ -1,0 +1,201 @@
+// Command benchguard gates benchmark regressions against a checked-in
+// baseline. It parses `go test -bench -benchmem` output (files given as
+// arguments, or stdin) and compares every benchmark that appears in the
+// baseline:
+//
+//   - wall clock: ns/op above baseline by more than -tolerance fails;
+//   - allocations: a zero-alloc baseline fails on any allocation at all
+//     (the kernel's steady-state guarantee), a non-zero baseline fails
+//     above -alloc-tolerance (absorbing runtime noise in end-to-end runs).
+//
+// Multiple samples of one benchmark are averaged. Benchmarks missing from
+// the input are reported but do not fail the gate, so partial runs can be
+// checked; an input matching nothing fails. -update rewrites the baseline
+// with the observed numbers instead of checking.
+//
+// Machines differ, so the committed baseline is a ratchet for one
+// reference machine (CI); after a legitimate improvement, refresh it with:
+//
+//	make bench-smoke BENCHGUARD_FLAGS=-update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Entry is one benchmark's baseline numbers.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in gate file. PrePRReference preserves
+// historical numbers for documentation; it is never checked against.
+type Baseline struct {
+	Note           string           `json:"note,omitempty"`
+	Benchmarks     map[string]Entry `json:"benchmarks"`
+	PrePRReference map[string]Entry `json:"pre_pr_reference,omitempty"`
+}
+
+// sample accumulates observed runs of one benchmark.
+type sample struct {
+	ns, allocs float64
+	count      int
+}
+
+// benchLine matches one result line; the -N GOMAXPROCS suffix is folded
+// into the name match so baselines are machine-width independent.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+[0-9.e+]+ B/op\s+([0-9.e+]+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench/baseline.json", "baseline JSON path")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative ns/op regression")
+	allocTol := flag.Float64("alloc-tolerance", 0.01, "allowed relative allocs/op regression (non-zero baselines)")
+	update := flag.Bool("update", false, "rewrite the baseline with observed numbers instead of checking")
+	flag.Parse()
+
+	samples, err := parseInputs(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		if err := writeBaseline(*baselinePath, base, samples); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: baseline %s updated with %d benchmarks\n", *baselinePath, len(samples))
+		return
+	}
+
+	failed := 0
+	checked := 0
+	for name, want := range base.Benchmarks {
+		s, ok := samples[name]
+		if !ok {
+			fmt.Printf("benchguard: %-42s not in input (skipped)\n", name)
+			continue
+		}
+		checked++
+		ns := s.ns / float64(s.count)
+		allocs := s.allocs / float64(s.count)
+		status := "ok"
+		switch {
+		case ns > want.NsPerOp*(1+*tolerance):
+			status = fmt.Sprintf("FAIL wall clock: %.4g ns/op > %.4g +%.0f%%", ns, want.NsPerOp, 100**tolerance)
+			failed++
+		case want.AllocsPerOp == 0 && allocs > 0:
+			status = fmt.Sprintf("FAIL allocs: %.4g allocs/op, baseline is zero-alloc", allocs)
+			failed++
+		case want.AllocsPerOp > 0 && allocs > want.AllocsPerOp*(1+*allocTol):
+			status = fmt.Sprintf("FAIL allocs: %.4g allocs/op > %.4g +%.0f%%", allocs, want.AllocsPerOp, 100**allocTol)
+			failed++
+		default:
+			status = fmt.Sprintf("ok (%.4g ns/op vs %.4g, %.4g allocs/op)", ns, want.NsPerOp, allocs)
+		}
+		fmt.Printf("benchguard: %-42s %s\n", name, status)
+	}
+	if checked == 0 {
+		fatal(fmt.Errorf("no input benchmark matched the baseline"))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed", failed))
+	}
+}
+
+func parseInputs(paths []string) (map[string]*sample, error) {
+	samples := make(map[string]*sample)
+	scan := func(r io.Reader) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			m := benchLine.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			var allocs float64
+			if m[3] != "" {
+				allocs, _ = strconv.ParseFloat(m[3], 64)
+			}
+			s := samples[m[1]]
+			if s == nil {
+				s = &sample{}
+				samples[m[1]] = s
+			}
+			s.ns += ns
+			s.allocs += allocs
+			s.count++
+		}
+		return sc.Err()
+	}
+	if len(paths) == 0 {
+		return samples, scan(os.Stdin)
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		err = scan(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Benchmarks: map[string]Entry{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Benchmarks == nil {
+		b.Benchmarks = map[string]Entry{}
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, base *Baseline, samples map[string]*sample) error {
+	for name, s := range samples {
+		base.Benchmarks[name] = Entry{
+			NsPerOp:     s.ns / float64(s.count),
+			AllocsPerOp: s.allocs / float64(s.count),
+		}
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+package asyncnoc_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"asyncnoc"
+)
+
+func shortCfg(n int) asyncnoc.RunConfig {
+	return asyncnoc.RunConfig{
+		Bench:   asyncnoc.UniformRandom(n),
+		LoadGFs: 0.3,
+		Seed:    1,
+		Warmup:  100 * asyncnoc.Nanosecond,
+		Measure: 300 * asyncnoc.Nanosecond,
+		Drain:   300 * asyncnoc.Nanosecond,
+	}
+}
+
+// The instrument surface must observe exactly the run the deprecated
+// Build+Attach path observes: same trace bytes, same result.
+func TestTraceInstrumentMatchesDeprecatedAttach(t *testing.T) {
+	spec := asyncnoc.OptHybridSpeculative(8)
+
+	var legacy bytes.Buffer
+	nw, err := asyncnoc.Build(spec, shortCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := asyncnoc.AttachTraceJSONL(nw, &legacy)
+	nw.Sched.RunUntil(700 * asyncnoc.Nanosecond)
+	wantRes := asyncnoc.Collect(nw, shortCfg(8))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var instrumented bytes.Buffer
+	cfg := shortCfg(8)
+	tr := &asyncnoc.TraceInstrument{Out: &instrumented}
+	cfg.Instruments = []asyncnoc.Instrument{tr}
+	gotRes, err := asyncnoc.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(legacy.Bytes(), instrumented.Bytes()) {
+		t.Errorf("instrumented trace differs from Build+Attach trace (%d vs %d bytes)",
+			legacy.Len(), instrumented.Len())
+	}
+	if tr.Sink == nil || tr.Sink.Events() == 0 {
+		t.Error("TraceInstrument saw no events")
+	}
+	if gotRes != wantRes {
+		t.Errorf("instrumented result diverged:\n got %+v\nwant %+v", gotRes, wantRes)
+	}
+	if n, err := asyncnoc.ValidateTrace(&instrumented); err != nil || n == 0 {
+		t.Errorf("trace invalid after %d events: %v", n, err)
+	}
+}
+
+func TestVCDAndUtilizationInstruments(t *testing.T) {
+	var vcdOut bytes.Buffer
+	vi := &asyncnoc.VCDInstrument{Out: &vcdOut}
+	ui := &asyncnoc.UtilizationInstrument{}
+	cfg := shortCfg(8)
+	cfg.Instruments = []asyncnoc.Instrument{vi, ui}
+	if _, err := asyncnoc.Run(asyncnoc.OptHybridSpeculative(8), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if vi.Rec == nil || vcdOut.Len() == 0 {
+		t.Error("VCDInstrument produced no dump")
+	}
+	if !strings.Contains(vcdOut.String(), "$enddefinitions") {
+		t.Error("VCD dump missing header")
+	}
+	if ui.U == nil || ui.U.Delivered == 0 {
+		t.Error("UtilizationInstrument counted no deliveries")
+	}
+}
+
+// Instrumented runs must bypass the engine memo: two runs of an equal
+// (spec, config) pair must each stream their own trace.
+func TestEngineDoesNotMemoizeInstrumentedRuns(t *testing.T) {
+	eng := asyncnoc.NewEngine(2)
+	spec := asyncnoc.OptHybridSpeculative(8)
+	var first, second bytes.Buffer
+	for i, out := range []*bytes.Buffer{&first, &second} {
+		cfg := shortCfg(8)
+		cfg.Instruments = []asyncnoc.Instrument{&asyncnoc.TraceInstrument{Out: out}}
+		if _, err := eng.Run(spec, cfg); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if first.Len() == 0 || second.Len() == 0 {
+		t.Fatalf("memoized instrumented run skipped tracing (%d, %d bytes)", first.Len(), second.Len())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("equal instrumented runs produced different traces")
+	}
+}
+
+func TestConfigErrorAggregatesAllFields(t *testing.T) {
+	bad := asyncnoc.RunConfig{
+		LoadGFs: -1,
+		Warmup:  -1,
+		Measure: 0,
+		Drain:   -1,
+	}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	var ce *asyncnoc.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Validate returned %T, want *ConfigError", err)
+	}
+	var fields []string
+	for _, f := range ce.Fields {
+		fields = append(fields, f.Field)
+	}
+	want := []string{"Bench", "LoadGFs", "Warmup", "Measure", "Drain"}
+	if len(fields) != len(want) {
+		t.Fatalf("ConfigError fields %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Fatalf("ConfigError fields %v, want %v", fields, want)
+		}
+	}
+	for _, f := range want {
+		if !strings.Contains(err.Error(), f) {
+			t.Errorf("error message %q missing field %s", err.Error(), f)
+		}
+	}
+}
+
+func TestDefaultRunConfig(t *testing.T) {
+	cfg := asyncnoc.DefaultRunConfig(8)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultRunConfig invalid: %v", err)
+	}
+	if cfg.Warmup != 320*asyncnoc.Nanosecond ||
+		cfg.Measure != 3200*asyncnoc.Nanosecond ||
+		cfg.Drain != 800*asyncnoc.Nanosecond {
+		t.Errorf("windows %v/%v/%v, want the paper's 320/3200/800 ns", cfg.Warmup, cfg.Measure, cfg.Drain)
+	}
+	if cfg.LoadGFs != 0.4 || cfg.Seed != 1 {
+		t.Errorf("load %v seed %d, want 0.4 and 1", cfg.LoadGFs, cfg.Seed)
+	}
+	if cfg.Bench == nil || cfg.Bench.Name() != "UniformRandom" {
+		t.Errorf("benchmark %v, want UniformRandom", cfg.Bench)
+	}
+}
+
+func TestMeshRejectsInstruments(t *testing.T) {
+	cfg := shortCfg(4)
+	cfg.Instruments = []asyncnoc.Instrument{&asyncnoc.UtilizationInstrument{}}
+	if _, err := asyncnoc.RunMesh(asyncnoc.MeshTree(2, 2), cfg); err == nil {
+		t.Error("mesh run accepted instruments")
+	}
+}

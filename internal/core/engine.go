@@ -219,6 +219,23 @@ func (e *Engine) Run(spec network.Spec, cfg RunConfig) (RunResult, error) {
 // aborted by its own context is evicted from the memo so the key is not
 // poisoned with a cancellation error.
 func (e *Engine) RunContext(ctx context.Context, spec network.Spec, cfg RunConfig) (RunResult, error) {
+	if len(cfg.Instruments) > 0 {
+		// Instrumented runs have observable side effects (waveforms,
+		// trace streams), so the memo must neither replay a cached result
+		// past the instruments nor share one computation among waiters
+		// that each expect their own instruments attached. Execute fresh
+		// under a pool slot.
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			return RunResult{}, ctx.Err()
+		}
+		e.started.Add(1)
+		res, err := runSafely(ctx, spec, cfg)
+		e.completed.Add(1)
+		<-e.sem
+		return res, err
+	}
 	ent, compute := e.claim(JobKey(spec, cfg))
 	if compute {
 		select {

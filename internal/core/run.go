@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
+	"strings"
 
 	"asyncnoc/internal/fault"
 	"asyncnoc/internal/network"
@@ -35,20 +37,94 @@ type RunConfig struct {
 	// budget; runs with faults enabled then get a generous automatic
 	// backstop (see Run).
 	MaxEvents uint64
+	// Instruments are attached to the built network before the run and
+	// finished (flushed) after it; see Instrument. Instrumented runs are
+	// executed fresh, never served from the engine's memo.
+	Instruments []Instrument
 }
 
-// Validate checks the configuration.
+// FieldError names one invalid RunConfig field and why it is invalid.
+type FieldError struct {
+	Field  string
+	Reason string
+}
+
+func (e FieldError) String() string { return e.Field + ": " + e.Reason }
+
+// ConfigError reports every invalid field of a RunConfig at once, so a
+// caller building a configuration from flags or a file sees the full
+// repair list in one round trip instead of one field per attempt.
+type ConfigError struct {
+	Fields []FieldError
+}
+
+func (e *ConfigError) Error() string {
+	var b strings.Builder
+	b.WriteString("core: invalid RunConfig: ")
+	for i, f := range e.Fields {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// Validate checks the configuration, aggregating every invalid field
+// into a single *ConfigError.
 func (c RunConfig) Validate() error {
+	var fields []FieldError
+	add := func(field, format string, args ...any) {
+		fields = append(fields, FieldError{Field: field, Reason: fmt.Sprintf(format, args...)})
+	}
 	if c.Bench == nil {
-		return fmt.Errorf("core: RunConfig needs a benchmark")
+		add("Bench", "needs a benchmark")
 	}
 	if c.LoadGFs <= 0 {
-		return fmt.Errorf("core: offered load %v must be positive", c.LoadGFs)
+		add("LoadGFs", "offered load %v must be positive", c.LoadGFs)
 	}
-	if c.Warmup < 0 || c.Measure <= 0 || c.Drain < 0 {
-		return fmt.Errorf("core: invalid windows (warmup %v, measure %v, drain %v)", c.Warmup, c.Measure, c.Drain)
+	if c.Warmup < 0 {
+		add("Warmup", "warmup %v must not be negative", c.Warmup)
+	}
+	if c.Measure <= 0 {
+		add("Measure", "measurement window %v must be positive", c.Measure)
+	}
+	if c.Drain < 0 {
+		add("Drain", "drain %v must not be negative", c.Drain)
+	}
+	for i, ins := range c.Instruments {
+		if ins == nil {
+			add("Instruments", "instrument %d is nil", i)
+		}
+	}
+	if len(fields) > 0 {
+		return &ConfigError{Fields: fields}
 	}
 	return nil
+}
+
+// The paper's standard measurement windows (Section 5.1) and offered
+// load, used by DefaultRunConfig.
+const (
+	DefaultWarmup  = 320 * sim.Nanosecond
+	DefaultMeasure = 3200 * sim.Nanosecond
+	DefaultDrain   = 800 * sim.Nanosecond
+	DefaultLoadGFs = 0.4
+)
+
+// DefaultRunConfig returns the paper's standard setup for an n-terminal
+// network: uniform random traffic at 0.4 GFs per source with the
+// Section 5.1 warmup/measure/drain windows and seed 1. Callers override
+// individual fields before running.
+func DefaultRunConfig(n int) RunConfig {
+	return RunConfig{
+		Bench:   traffic.UniformRandom{N: n},
+		LoadGFs: DefaultLoadGFs,
+		Seed:    1,
+		Warmup:  DefaultWarmup,
+		Measure: DefaultMeasure,
+		Drain:   DefaultDrain,
+	}
 }
 
 // MaxLevels is the deepest fanout tree the topology supports (N ≤ 64 ⇒
@@ -125,18 +201,32 @@ func RunContext(ctx context.Context, spec network.Spec, cfg RunConfig) (res RunR
 	if err != nil {
 		return RunResult{}, err
 	}
-	total := cfg.Warmup + cfg.Measure + cfg.Drain
+	if err := attachInstruments(nw, cfg.Instruments); err != nil {
+		return RunResult{}, err
+	}
+	total := sim.AddSat(sim.AddSat(cfg.Warmup, cfg.Measure), cfg.Drain)
 	maxEvents := cfg.MaxEvents
 	if maxEvents == 0 && spec.Faults.Enabled() {
 		// Automatic backstop for fault runs: generous enough that any
 		// legitimate simulation fits with orders of magnitude to spare,
-		// tight enough to stop a retransmission storm.
-		maxEvents = uint64(total) * uint64(spec.N) * 64
+		// tight enough to stop a retransmission storm. Saturate rather
+		// than wrap for absurdly long spans.
+		maxEvents = uint64(total)
+		if mul := uint64(spec.N) * 64; maxEvents > math.MaxUint64/mul {
+			maxEvents = math.MaxUint64
+		} else {
+			maxEvents *= mul
+		}
 	}
 	if err := runGuarded(ctx, nw, total, maxEvents); err != nil {
+		_ = finishInstruments(cfg.Instruments) // best effort on an aborted run
 		return RunResult{}, err
 	}
-	return Collect(nw, cfg), nil
+	res = Collect(nw, cfg)
+	if err := finishInstruments(cfg.Instruments); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // watchdogChunks is the granularity of the guarded run loop: the budget
@@ -178,7 +268,7 @@ func runGuarded(ctx context.Context, nw *network.Network, total sim.Time, maxEve
 		// queue — instead it pins one flit in one channel forever.
 		watchHolds := nw.FaultStats() != nil
 		streaks := make(map[int]holdStreak)
-		for t := chunk; ; t += chunk {
+		for t := chunk; ; t = sim.AddSat(t, chunk) {
 			if t > total {
 				t = total
 			}
@@ -232,32 +322,47 @@ func Build(spec network.Spec, cfg RunConfig) (*network.Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	windowEnd := cfg.Warmup + cfg.Measure
+	windowEnd := sim.AddSat(cfg.Warmup, cfg.Measure)
 	nw.Rec.SetWindow(cfg.Warmup, windowEnd)
 	nw.Meter.SetWindow(cfg.Warmup, windowEnd)
-	injectUntil := windowEnd + cfg.Drain
+	injectUntil := sim.AddSat(windowEnd, cfg.Drain)
 	// Mean packet inter-arrival in ps: PacketLen flits at LoadGFs
 	// flits/ns per source.
 	meanGapPs := float64(spec.PacketLen) / cfg.LoadGFs * 1000
 	root := rng.New(cfg.Seed)
 	for s := 0; s < spec.N; s++ {
-		s := s
-		r := root.Split()
-		var arm func()
-		arm = func() {
-			if nw.Sched.Now() >= injectUntil {
-				return
-			}
-			if _, err := nw.Inject(s, cfg.Bench.NextDests(s, r)); err != nil {
-				// A benchmark producing an invalid destination set is a
-				// protocol-level modeling bug; surface it as one.
-				panic(fault.Violationf(fmt.Sprintf("benchmark %s", cfg.Bench.Name()), "%v", err))
-			}
-			nw.Sched.After(gap(r, meanGapPs), arm)
+		inj := &injector{
+			nw: nw, bench: cfg.Bench, src: s, r: root.Split(),
+			meanGapPs: meanGapPs, injectUntil: injectUntil,
 		}
-		nw.Sched.Schedule(gap(r, meanGapPs), arm)
+		nw.Sched.In(gap(inj.r, meanGapPs), inj, 0)
 	}
 	return nw, nil
+}
+
+// injector drives one source's open-loop Poisson process: each event
+// injects a packet and re-arms itself after an exponential gap, stopping
+// once the drain window closes.
+type injector struct {
+	nw          *network.Network
+	bench       traffic.Benchmark
+	src         int
+	r           *rng.Source
+	meanGapPs   float64
+	injectUntil sim.Time
+}
+
+// OnEvent implements sim.Handler.
+func (in *injector) OnEvent(int64) {
+	if in.nw.Sched.Now() >= in.injectUntil {
+		return
+	}
+	if _, err := in.nw.Inject(in.src, in.bench.NextDests(in.src, in.r)); err != nil {
+		// A benchmark producing an invalid destination set is a
+		// protocol-level modeling bug; surface it as one.
+		panic(fault.Violationf(fmt.Sprintf("benchmark %s", in.bench.Name()), "%v", err))
+	}
+	in.nw.Sched.In(gap(in.r, in.meanGapPs), in, 0)
 }
 
 // gap draws an exponential inter-arrival time of at least 1 ps.

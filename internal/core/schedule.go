@@ -54,6 +54,21 @@ func (s Schedule) End() sim.Time {
 	return end
 }
 
+// replayer injects schedule entries through a network; the event payload
+// is the entry's index in the time-ordered schedule.
+type replayer struct {
+	nw      *network.Network
+	ordered Schedule
+}
+
+// OnEvent implements sim.Handler.
+func (rp *replayer) OnEvent(arg int64) {
+	inj := rp.ordered[arg]
+	if _, err := rp.nw.Inject(inj.Src, inj.Dests); err != nil {
+		panic(err) // schedule validated by RunSchedule
+	}
+}
+
 // RunSchedule replays an explicit schedule through a network and measures
 // every injected packet (the window spans the whole schedule). Drain
 // bounds the extra simulated time after the last injection; the run also
@@ -71,18 +86,14 @@ func RunSchedule(spec network.Spec, sched Schedule, drain sim.Time) (res RunResu
 	if err != nil {
 		return RunResult{}, err
 	}
-	end := sched.End() + drain
+	end := sim.AddSat(sched.End(), drain)
 	nw.Rec.SetWindow(0, end)
 	nw.Meter.SetWindow(0, end)
 	ordered := append(Schedule(nil), sched...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
-	for _, inj := range ordered {
-		inj := inj
-		nw.Sched.Schedule(inj.At, func() {
-			if _, err := nw.Inject(inj.Src, inj.Dests); err != nil {
-				panic(err) // validated above
-			}
-		})
+	rp := &replayer{nw: nw, ordered: ordered}
+	for i := range ordered {
+		nw.Sched.At(ordered[i].At, rp, int64(i))
 	}
 	nw.Sched.RunUntil(end)
 	if nw.Sched.Len() == 0 {

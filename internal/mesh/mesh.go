@@ -264,10 +264,14 @@ func (ni *sourceNI) pump() {
 
 // OnAck implements node.AckTarget.
 func (ni *sourceNI) OnAck(int) {
-	ni.mesh.Sched.After(timing.NICycle, func() {
-		ni.busy = false
-		ni.pump()
-	})
+	ni.mesh.Sched.In(timing.NICycle, ni, 0)
+}
+
+// OnEvent implements sim.Handler: the interface cycle elapsed, resume
+// pumping the injection queue.
+func (ni *sourceNI) OnEvent(int64) {
+	ni.busy = false
+	ni.pump()
 }
 
 // sinkNI consumes delivered flits.
@@ -285,5 +289,9 @@ func (ni *sinkNI) OnFlit(_ int, f packet.Flit) {
 	if f.IsHeader() {
 		ni.mesh.Rec.HeaderArrived(f.Pkt, ni.tile, now)
 	}
-	ni.mesh.Sched.After(timing.SinkAck, ni.in.Ack)
+	ni.mesh.Sched.In(timing.SinkAck, ni, 0)
 }
+
+// OnEvent implements sim.Handler: the consume time elapsed, return the
+// channel acknowledge.
+func (ni *sinkNI) OnEvent(int64) { ni.in.Ack() }

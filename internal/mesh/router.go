@@ -11,6 +11,22 @@ import (
 	"asyncnoc/internal/timing"
 )
 
+// Scheduler event payloads for the mesh package's sim.Handler
+// implementations: the low byte selects the action, the high bits carry
+// the input-port operand (same packing as internal/node).
+const (
+	evRtReady = iota // router: forward path elapsed on a port, try commit
+	evRtRetry        // router: handshake-cycle retry timer on a port
+	evRtAckIn        // router: acknowledge one input channel
+)
+
+// evArg packs an action and a port operand into an event payload.
+func evArg(op, port int) int64 { return int64(port)<<8 | int64(op) }
+
+// evOp and evPort unpack an event payload.
+func evOp(arg int64) int   { return int(arg & 0xff) }
+func evPort(arg int64) int { return int(arg >> 8) }
+
 // Router is one asynchronous five-port mesh router. Timing and area come
 // from the gate-level model (netlist.BuildMeshRouter): headers pay the
 // route-compute + arbitration + crossbar path, body flits ride the held
@@ -91,10 +107,22 @@ func (r *Router) OnFlit(port int, f packet.Flit) {
 		r.inOuts[port] = r.stored[port]
 		r.inSub[port] = r.storedSb[port]
 	}
-	r.sched.After(fwd, func() {
-		r.inReady[port] = true
-		r.tryCommit(port)
-	})
+	r.sched.In(fwd, r, evArg(evRtReady, port))
+}
+
+// OnEvent implements sim.Handler: the router's timer events.
+func (r *Router) OnEvent(arg int64) {
+	p := evPort(arg)
+	switch evOp(arg) {
+	case evRtReady:
+		r.inReady[p] = true
+		r.tryCommit(p)
+	case evRtRetry:
+		r.retryArmed[p] = false
+		r.tryCommit(p)
+	case evRtAckIn:
+		r.in[p].Ack()
+	}
 }
 
 // tryCommit attempts to move input port i's flit into every selected
@@ -107,10 +135,7 @@ func (r *Router) tryCommit(i int) {
 	if now := r.sched.Now(); now < r.nextAllowed[i] {
 		if !r.retryArmed[i] {
 			r.retryArmed[i] = true
-			r.sched.After(r.nextAllowed[i]-now, func() {
-				r.retryArmed[i] = false
-				r.tryCommit(i)
-			})
+			r.sched.In(r.nextAllowed[i]-now, r, evArg(evRtRetry, i))
 		}
 		return
 	}
@@ -164,8 +189,7 @@ func (r *Router) tryCommit(i int) {
 	}
 	r.nextAllowed[i] = r.sched.Now() + cycle + r.t.AckDelay
 	r.inHas[i] = false
-	in := r.in[i]
-	r.sched.After(r.t.AckDelay, func() { in.Ack() })
+	r.sched.In(r.t.AckDelay, r, evArg(evRtAckIn, i))
 	for o := 0; o < numPorts; o++ {
 		if outs&(1<<uint(o)) != 0 {
 			r.pump(o)

@@ -7,6 +7,7 @@ import (
 	"asyncnoc/internal/fault"
 	"asyncnoc/internal/rng"
 	"asyncnoc/internal/sim"
+	"asyncnoc/internal/traffic"
 )
 
 // Run executes one mesh simulation under the same configuration contract
@@ -19,32 +20,29 @@ func Run(spec Spec, cfg core.RunConfig) (res core.RunResult, err error) {
 	if err := cfg.Validate(); err != nil {
 		return core.RunResult{}, err
 	}
+	if len(cfg.Instruments) > 0 {
+		// Instruments attach to MoT networks (network.Network); the mesh
+		// has no equivalent observer surface yet.
+		return core.RunResult{}, fmt.Errorf("mesh %s: RunConfig.Instruments is not supported on the mesh topology", spec.Name)
+	}
 	m, err := New(spec)
 	if err != nil {
 		return core.RunResult{}, err
 	}
-	windowEnd := cfg.Warmup + cfg.Measure
+	windowEnd := sim.AddSat(cfg.Warmup, cfg.Measure)
 	m.Rec.SetWindow(cfg.Warmup, windowEnd)
 	m.Meter.SetWindow(cfg.Warmup, windowEnd)
-	injectUntil := windowEnd + cfg.Drain
+	injectUntil := sim.AddSat(windowEnd, cfg.Drain)
 	meanGapPs := float64(spec.PacketLen) / cfg.LoadGFs * 1000
 	root := rng.New(cfg.Seed)
 	for t := 0; t < spec.Tiles(); t++ {
-		t := t
-		r := root.Split()
-		var arm func()
-		arm = func() {
-			if m.Sched.Now() >= injectUntil {
-				return
-			}
-			if _, err := m.Inject(t, cfg.Bench.NextDests(t, r)); err != nil {
-				panic(fault.Violationf(fmt.Sprintf("mesh benchmark %s", cfg.Bench.Name()), "%v", err))
-			}
-			m.Sched.After(gap(r, meanGapPs), arm)
+		inj := &injector{
+			mesh: m, bench: cfg.Bench, tile: t, r: root.Split(),
+			meanGapPs: meanGapPs, injectUntil: injectUntil,
 		}
-		m.Sched.Schedule(gap(r, meanGapPs), arm)
+		m.Sched.In(gap(inj.r, meanGapPs), inj, 0)
 	}
-	m.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+	m.Sched.RunUntil(injectUntil)
 
 	res = core.RunResult{
 		Network:         spec.Name,
@@ -67,6 +65,28 @@ func gap(r *rng.Source, meanPs float64) sim.Time {
 		g = 1
 	}
 	return g
+}
+
+// injector drives one tile's open-loop Poisson process (see the MoT
+// harness's counterpart in internal/core).
+type injector struct {
+	mesh        *Mesh
+	bench       traffic.Benchmark
+	tile        int
+	r           *rng.Source
+	meanGapPs   float64
+	injectUntil sim.Time
+}
+
+// OnEvent implements sim.Handler.
+func (in *injector) OnEvent(int64) {
+	if in.mesh.Sched.Now() >= in.injectUntil {
+		return
+	}
+	if _, err := in.mesh.Inject(in.tile, in.bench.NextDests(in.tile, in.r)); err != nil {
+		panic(fault.Violationf(fmt.Sprintf("mesh benchmark %s", in.bench.Name()), "%v", err))
+	}
+	in.mesh.Sched.In(gap(in.r, in.meanGapPs), in, 0)
 }
 
 // Saturation searches for the mesh's saturation throughput under the

@@ -517,7 +517,7 @@ type txState struct {
 	pkt         *packet.Packet
 	outstanding packet.DestSet
 	attempts    int
-	timer       *sim.Event
+	timer       sim.EventID
 }
 
 func newSourceNI(nw *Network, src int) *SourceNI {
@@ -605,10 +605,14 @@ func (ni *SourceNI) pump() {
 
 // OnAck implements node.AckTarget: the root channel returned its ack.
 func (ni *SourceNI) OnAck(int) {
-	ni.nw.Sched.After(timing.NICycle, func() {
-		ni.busy = false
-		ni.pump()
-	})
+	ni.nw.Sched.In(timing.NICycle, ni, 0)
+}
+
+// OnEvent implements sim.Handler: the interface cycle time elapsed,
+// resume pumping the injection queue.
+func (ni *SourceNI) OnEvent(int64) {
+	ni.busy = false
+	ni.pump()
 }
 
 // SinkNI is a destination network interface: it consumes flits, records
@@ -641,6 +645,10 @@ func newSinkNI(nw *Network, dest int) *SinkNI {
 	return ni
 }
 
+// OnEvent implements sim.Handler: the consume time elapsed, return the
+// channel acknowledge.
+func (ni *SinkNI) OnEvent(int64) { ni.in.Ack() }
+
 // OnFlit implements node.Sink.
 func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	now := ni.nw.Sched.Now()
@@ -655,7 +663,7 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 		if ni.nw.Trace != nil {
 			ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
 		}
-		ni.nw.Sched.After(timing.SinkAck, ni.in.Ack)
+		ni.nw.Sched.In(timing.SinkAck, ni, 0)
 		return
 	}
 	// Fault mode: the physical arrival is always traced and acknowledged
@@ -664,7 +672,7 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	if ni.nw.Trace != nil {
 		ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
 	}
-	ni.nw.Sched.After(timing.SinkAck, ni.in.Ack)
+	ni.nw.Sched.In(timing.SinkAck, ni, 0)
 	if !f.CheckCRC() {
 		return // corrupted in flight; recovered by retransmission
 	}

@@ -45,6 +45,22 @@ func AttachUtilization(nw *Network) *Utilization {
 	return u
 }
 
+// UtilizationInstrument adapts the per-level activity counters to the
+// run-config instrument surface (core.Instrument). After the run, U holds
+// the populated counters.
+type UtilizationInstrument struct {
+	U *Utilization
+}
+
+// Attach implements the instrument surface.
+func (u *UtilizationInstrument) Attach(nw *Network) error {
+	u.U = AttachUtilization(nw)
+	return nil
+}
+
+// Finish implements the instrument surface; the counters need no flush.
+func (u *UtilizationInstrument) Finish() error { return nil }
+
 // RedundantFraction returns throttled flits as a fraction of all fanout
 // flit movements — the network-wide waste of speculation.
 func (u *Utilization) RedundantFraction() float64 {

@@ -68,3 +68,26 @@ func AttachVCD(nw *Network, out io.Writer) (*VCDRecorder, error) {
 
 // Close flushes the dump.
 func (r *VCDRecorder) Close() error { return r.w.Close() }
+
+// VCDInstrument adapts the VCD recorder to the run-config instrument
+// surface (core.Instrument): Attach builds a recorder over Out, Finish
+// closes it. After the run, Rec holds the attached recorder.
+type VCDInstrument struct {
+	Out io.Writer
+	Rec *VCDRecorder
+}
+
+// Attach implements the instrument surface.
+func (v *VCDInstrument) Attach(nw *Network) error {
+	rec, err := AttachVCD(nw, v.Out)
+	v.Rec = rec
+	return err
+}
+
+// Finish flushes and closes the dump.
+func (v *VCDInstrument) Finish() error {
+	if v.Rec == nil {
+		return nil
+	}
+	return v.Rec.Close()
+}

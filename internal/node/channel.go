@@ -21,6 +21,29 @@ import (
 	"asyncnoc/internal/sim"
 )
 
+// Scheduler event payloads for the node types' sim.Handler
+// implementations: the low byte selects the action, the high bits carry a
+// port operand where one is needed. Dispatching through (handler, payload)
+// pairs instead of captured closures keeps the per-toggle hot path free of
+// heap allocations (see internal/sim).
+const (
+	evChanDeliver = iota // channel: request edge reaches the receiver
+	evChanCredit         // channel: credit returns to the sender
+	evFoReady            // fanout: forward path elapsed, try to commit
+	evFoRetry            // fanout: handshake-cycle retry timer
+	evFoAckIn            // fanout: acknowledge the input channel
+	evFiRetry            // fanin: handshake-cycle retry timer
+	evFiGrant            // fanin: grant stage traversal complete (port operand)
+	evFiAckIn            // fanin: acknowledge one input channel (port operand)
+)
+
+// evArg packs an action and a port operand into an event payload.
+func evArg(op, port int) int64 { return int64(port)<<8 | int64(op) }
+
+// evOp and evPort unpack an event payload.
+func evOp(arg int64) int   { return int(arg & 0xff) }
+func evPort(arg int64) int { return int(arg >> 8) }
+
 // Sink receives flits from a channel.
 type Sink interface {
 	// OnFlit is invoked when the channel's request edge (with its
@@ -105,23 +128,34 @@ func (c *Channel) Send(f packet.Flit) {
 			if c.OnTraverse != nil {
 				c.OnTraverse(f)
 			}
-			c.Sched.After(c.FwdDelay+c.AckDelay, func() {
-				c.inFlight = false
-				if c.Src != nil {
-					c.Src.OnAck(c.SrcPort)
-				}
-			})
+			c.Sched.In(c.FwdDelay+c.AckDelay, c, evChanCredit)
 			return
 		}
 		if d.CorruptBit >= 0 {
 			f.Payload ^= 1 << uint(d.CorruptBit)
+			// The wire now carries the corrupted bundle; the delivery
+			// event below reads the flit back from cur.
+			c.cur = f
 		}
 		fwd += sim.Time(d.JitterPs)
 	}
 	if c.OnTraverse != nil {
 		c.OnTraverse(f)
 	}
-	c.Sched.After(fwd, func() { c.Dst.OnFlit(c.DstPort, f) })
+	c.Sched.In(fwd, c, evChanDeliver)
+}
+
+// OnEvent implements sim.Handler: the channel's wire-flight events.
+func (c *Channel) OnEvent(arg int64) {
+	switch evOp(arg) {
+	case evChanDeliver:
+		c.Dst.OnFlit(c.DstPort, c.cur)
+	case evChanCredit:
+		c.inFlight = false
+		if c.Src != nil {
+			c.Src.OnAck(c.SrcPort)
+		}
+	}
 }
 
 // Ack returns the acknowledge edge to the sender. The receiver calls it
@@ -132,12 +166,7 @@ func (c *Channel) Ack() {
 			"ack without pending flit"))
 	}
 	c.acked = true
-	c.Sched.After(c.AckDelay, func() {
-		c.inFlight = false
-		if c.Src != nil {
-			c.Src.OnAck(c.SrcPort)
-		}
-	})
+	c.Sched.In(c.AckDelay, c, evChanCredit)
 }
 
 // Busy reports whether a flit is in flight (sent but not yet acknowledged

@@ -42,6 +42,9 @@ type Fanin struct {
 	locked     int // input index owning the output, -1 when free
 	lastWin    int
 	forwarding bool // a flit is traversing the arbitration/grant stage
+	// fwdFlit is the flit in the grant stage while forwarding is set
+	// (the stage holds at most one).
+	fwdFlit packet.Flit
 
 	// nextAllowed enforces the arbitration stage's minimum handshake
 	// cycle (grant path + acknowledge generation).
@@ -108,10 +111,7 @@ func (n *Fanin) tryForward() {
 	if now := n.sched.Now(); now < n.nextAllowed {
 		if !n.retryArmed {
 			n.retryArmed = true
-			n.sched.After(n.nextAllowed-now, func() {
-				n.retryArmed = false
-				n.tryForward()
-			})
+			n.sched.In(n.nextAllowed-now, n, evFiRetry)
 		}
 		return
 	}
@@ -137,6 +137,7 @@ func (n *Fanin) tryForward() {
 	f := *n.pending[pick]
 	n.pending[pick] = nil
 	n.forwarding = true
+	n.fwdFlit = f
 	if f.IsTail() {
 		n.locked = -1
 	} else {
@@ -144,17 +145,28 @@ func (n *Fanin) tryForward() {
 	}
 	n.lastWin = pick
 	n.nextAllowed = n.sched.Now() + n.t.FwdHeader + n.t.AckDelay
-	in := n.in[pick]
-	n.sched.After(n.t.FwdHeader, func() {
+	n.sched.In(n.t.FwdHeader, n, evArg(evFiGrant, pick))
+}
+
+// OnEvent implements sim.Handler: the fanin node's timer events.
+func (n *Fanin) OnEvent(arg int64) {
+	switch evOp(arg) {
+	case evFiRetry:
+		n.retryArmed = false
+		n.tryForward()
+	case evFiGrant:
+		f := n.fwdFlit
 		n.forwarding = false
 		n.fifo = append(n.fifo, f)
 		if n.OnForward != nil {
 			n.OnForward(f)
 		}
-		n.sched.After(n.t.AckDelay, func() { in.Ack() })
+		n.sched.In(n.t.AckDelay, n, evArg(evFiAckIn, evPort(arg)))
 		n.pump()
 		n.tryForward()
-	})
+	case evFiAckIn:
+		n.in[evPort(arg)].Ack()
+	}
 }
 
 // pump drives the head of the output buffer onto the wire when idle.

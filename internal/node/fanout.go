@@ -188,18 +188,28 @@ func (n *Fanout) OnFlit(port int, f packet.Flit) {
 		if n.OnAbsorb != nil {
 			n.OnAbsorb(f)
 		}
-		in := n.in
-		n.sched.After(n.t.ThrottleAck, func() { in.Ack() })
+		n.sched.In(n.t.ThrottleAck, n, evFoAckIn)
 		return
 	}
 	n.cur = f
 	n.hasCur = true
 	n.ready = false
 	n.need = dirs
-	n.sched.After(fwd, func() {
+	n.sched.In(fwd, n, evFoReady)
+}
+
+// OnEvent implements sim.Handler: the fanout node's timer events.
+func (n *Fanout) OnEvent(arg int64) {
+	switch evOp(arg) {
+	case evFoReady:
 		n.ready = true
 		n.tryCommit()
-	})
+	case evFoRetry:
+		n.retryArmed = false
+		n.tryCommit()
+	case evFoAckIn:
+		n.in.Ack()
+	}
 }
 
 // route computes the directions, forward latency, and absorb decision for
@@ -276,10 +286,7 @@ func (n *Fanout) tryCommit() {
 	if now := n.sched.Now(); now < n.nextAllowed {
 		if !n.retryArmed {
 			n.retryArmed = true
-			n.sched.After(n.nextAllowed-now, func() {
-				n.retryArmed = false
-				n.tryCommit()
-			})
+			n.sched.In(n.nextAllowed-now, n, evFoRetry)
 		}
 		return
 	}
@@ -321,8 +328,7 @@ func (n *Fanout) tryCommit() {
 	n.hasCur = false
 	// All copies committed: the Ack Module (XOR for one port, C-element
 	// for both) completes the input handshake.
-	in := n.in
-	n.sched.After(n.t.AckDelay, func() { in.Ack() })
+	n.sched.In(n.t.AckDelay, n, evFoAckIn)
 	n.pump(0)
 	n.pump(1)
 }

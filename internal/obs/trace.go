@@ -149,6 +149,29 @@ func AttachTraceJSONL(nw *network.Network, w io.Writer) *TraceSink {
 	return s
 }
 
+// TraceInstrument adapts the JSONL trace sink to the run-config
+// instrument surface (core.Instrument): Attach chains a sink over Out
+// onto the network, Finish flushes it. After the run, Sink exposes the
+// event count.
+type TraceInstrument struct {
+	Out  io.Writer
+	Sink *TraceSink
+}
+
+// Attach implements the instrument surface.
+func (t *TraceInstrument) Attach(nw *network.Network) error {
+	t.Sink = AttachTraceJSONL(nw, t.Out)
+	return nil
+}
+
+// Finish drains the sink's buffer.
+func (t *TraceInstrument) Finish() error {
+	if t.Sink == nil {
+		return nil
+	}
+	return t.Sink.Flush()
+}
+
 // traceFields lists, per event kind, the exact field set ValidateTrace
 // requires (every field present, no extras beyond the common ones).
 var traceFields = map[string][]string{

@@ -1,19 +1,29 @@
 // Package sim provides a deterministic discrete-event simulation kernel
 // with picosecond time resolution.
 //
-// The kernel is deliberately minimal: a scheduler owns a priority queue of
-// events ordered by (time, sequence number). Sequence numbers make the
-// execution order of simultaneous events deterministic (FIFO among equal
-// timestamps), which in turn makes every experiment in this repository
-// reproducible bit-for-bit.
+// The kernel is a zero-allocation event scheduler: pending events are
+// value-typed records in a flat slab, ordered by an index-based 4-ary
+// min-heap, with a free-list recycling slab slots. An event is a
+// (Handler, int64 payload) pair — the component being simulated is its
+// own handler and the payload selects the action — so steady-state
+// scheduling and dispatch perform no heap allocations and create no
+// garbage. Sequence numbers make the execution order of simultaneous
+// events deterministic (FIFO among equal timestamps), which in turn makes
+// every experiment in this repository reproducible bit-for-bit.
 //
 // Asynchronous NoC models are built on top of this kernel by scheduling
-// request/acknowledge toggle events between handshake components.
+// request/acknowledge toggle events between handshake components: each
+// channel and node implements Handler once and schedules itself with
+// At/In, paying only a slab write and a heap sift per toggle.
+//
+// The closure-based Schedule/After entry points remain for cold paths
+// (tests, per-packet timers, replay harnesses); they allocate one adapter
+// per call and dispatch through the same queue.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -32,11 +42,43 @@ const Never Time = 1<<63 - 1
 // Nanoseconds returns t expressed in (fractional) nanoseconds.
 func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 
-// String formats the time with an adaptive unit.
+// IsNever reports whether t is the unreachable-future sentinel.
+func (t Time) IsNever() bool { return t == Never }
+
+// AddSat returns a+b saturated at Never: if either operand is Never, or
+// the sum of two non-negative operands overflows, the result is Never.
+// Deadline arithmetic (watchdog chunking, retransmission backoff) uses it
+// so that "no deadline" composes safely with any finite offset.
+func AddSat(a, b Time) Time {
+	if a == Never || b == Never {
+		return Never
+	}
+	c := a + b
+	if b > 0 && c < a || a > 0 && c < b {
+		return Never
+	}
+	return c
+}
+
+// String formats the time with an adaptive unit. Negative durations keep
+// the adaptive unit of their magnitude (e.g. "-2.500ns", not "-2500ps").
 func (t Time) String() string {
 	switch {
 	case t == Never:
 		return "never"
+	case t == math.MinInt64:
+		// -t overflows; format through float64 directly.
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < 0:
+		return "-" + (-t).magnitude()
+	default:
+		return t.magnitude()
+	}
+}
+
+// magnitude formats a non-negative time with an adaptive unit.
+func (t Time) magnitude() string {
+	switch {
 	case t >= Microsecond:
 		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
 	case t >= Nanosecond:
@@ -46,49 +88,58 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback.
-type Event struct {
-	At  Time
-	Fn  func()
+// Handler dispatches scheduled events. A simulated component implements
+// Handler once; the int64 payload passed back at dispatch selects the
+// action (and encodes a small operand such as a port index), replacing
+// the captured closure of the previous kernel so that scheduling does not
+// allocate.
+type Handler interface {
+	OnEvent(arg int64)
+}
+
+// EventID is a cancellation handle for a pending event: a slab index plus
+// a generation counter. The zero EventID never matches a live event, and
+// an ID goes stale the instant its event fires or is canceled (slot
+// generations advance on every release), so Cancel on a dead handle is a
+// safe no-op.
+type EventID struct {
+	slot int32
+	gen  uint32
+}
+
+// Pending reports whether id still refers to a queued event in s.
+func (s *Scheduler) Pending(id EventID) bool {
+	return id.gen != 0 && int(id.slot) < len(s.slots) &&
+		s.slots[id.slot].gen == id.gen && s.slots[id.slot].heapIdx >= 0
+}
+
+// slot is one slab entry: an event record plus its heap backlink.
+type slot struct {
+	at  Time
 	seq uint64
-	idx int // heap index; -1 when not queued
-}
-
-// eventHeap implements heap.Interface ordered by (At, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+	h   Handler
+	arg int64
+	// heapIdx is the event's position in the heap array, -1 when the
+	// slot is free.
+	heapIdx int32
+	// gen advances on every release so stale EventIDs cannot cancel a
+	// recycled slot. It is never zero (the zero EventID is invalid).
+	gen uint32
 }
 
 // Scheduler is a single-threaded discrete-event scheduler.
 // The zero value is not usable; construct with NewScheduler.
 type Scheduler struct {
-	now     Time
-	queue   eventHeap
+	now Time
+	// slots is the event slab; heap holds slot indices ordered as an
+	// implicit 4-ary min-heap by (at, seq); free lists recycled slots.
+	// All three grow to the high-water mark of concurrently pending
+	// events and are then reused forever: steady-state scheduling
+	// allocates nothing.
+	slots []slot
+	heap  []int32
+	free  []int32
+
 	nextSeq uint64
 	// executed counts events dispatched since construction.
 	executed uint64
@@ -105,41 +156,178 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return len(s.heap) }
 
 // Executed returns the total number of events dispatched so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
-// Schedule enqueues fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: in a handshake model a causality violation is always
-// a modeling bug and must not be silently reordered.
-func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+// At enqueues h to be dispatched with arg at absolute time at. Scheduling
+// in the past (before Now) panics: in a handshake model a causality
+// violation is always a modeling bug and must not be silently reordered.
+// This is the zero-allocation hot path; the returned EventID can cancel
+// the event and costs nothing to discard.
+func (s *Scheduler) At(at Time, h Handler, arg int64) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
-	ev := &Event{At: at, Fn: fn, seq: s.nextSeq}
+	if h == nil {
+		panic("sim: schedule with nil handler")
+	}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{gen: 1})
+		idx = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.at, sl.seq, sl.h, sl.arg = at, s.nextSeq, h, arg
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
-	return ev
+	sl.heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+	return EventID{slot: idx, gen: sl.gen}
 }
 
-// After enqueues fn to run delay picoseconds from now.
-func (s *Scheduler) After(delay Time, fn func()) *Event {
+// In enqueues h to be dispatched with arg after delay picoseconds,
+// saturating at Never on overflow (an event at Never is beyond every
+// finite RunUntil deadline). The zero-allocation hot path.
+func (s *Scheduler) In(delay Time, h Handler, arg int64) EventID {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	return s.Schedule(s.now+delay, fn)
+	return s.At(AddSat(s.now, delay), h, arg)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op and returns false.
-func (s *Scheduler) Cancel(ev *Event) bool {
-	if ev == nil || ev.idx < 0 {
+// funcEvent adapts a captured closure to Handler — the compatibility path
+// for cold call sites; each Schedule/After allocates one.
+type funcEvent struct{ fn func() }
+
+func (f *funcEvent) OnEvent(int64) { f.fn() }
+
+// Schedule enqueues fn to run at absolute time at. This is the
+// closure-compatibility entry point: it allocates an adapter per call, so
+// per-toggle hot paths use At with a Handler instead.
+func (s *Scheduler) Schedule(at Time, fn func()) EventID {
+	return s.At(at, &funcEvent{fn: fn}, 0)
+}
+
+// After enqueues fn to run delay picoseconds from now (closure
+// compatibility; see Schedule).
+func (s *Scheduler) After(delay Time, fn func()) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return s.Schedule(AddSat(s.now, delay), fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired,
+// already-canceled, or zero EventID is a no-op and returns false.
+func (s *Scheduler) Cancel(id EventID) bool {
+	if id.gen == 0 || int(id.slot) >= len(s.slots) {
 		return false
 	}
-	heap.Remove(&s.queue, ev.idx)
-	ev.idx = -1
+	sl := &s.slots[id.slot]
+	if sl.gen != id.gen || sl.heapIdx < 0 {
+		return false
+	}
+	s.removeAt(int(sl.heapIdx))
+	s.release(id.slot)
 	return true
+}
+
+// release returns a slot to the free list, advancing its generation so
+// outstanding EventIDs for it go stale.
+func (s *Scheduler) release(idx int32) {
+	sl := &s.slots[idx]
+	sl.h = nil // drop the handler reference; slots outlive events
+	sl.heapIdx = -1
+	sl.gen++
+	if sl.gen == 0 {
+		sl.gen = 1 // skip the invalid generation on wraparound
+	}
+	s.free = append(s.free, idx)
+}
+
+// less orders slab entries by (at, seq): time first, schedule order among
+// simultaneous events.
+func (s *Scheduler) less(a, b int32) bool {
+	sa, sb := &s.slots[a], &s.slots[b]
+	return sa.at < sb.at || (sa.at == sb.at && sa.seq < sb.seq)
+}
+
+// heapArity is the branching factor. A 4-ary heap halves the tree depth
+// of a binary heap and keeps each node's children in one or two cache
+// lines of the flat index array, which measures faster for the short,
+// churning queues a handshake simulation produces.
+const heapArity = 4
+
+// siftUp restores heap order from position i toward the root.
+func (s *Scheduler) siftUp(i int) {
+	idx := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		pi := s.heap[p]
+		if !s.less(idx, pi) {
+			break
+		}
+		s.heap[i] = pi
+		s.slots[pi].heapIdx = int32(i)
+		i = p
+	}
+	s.heap[i] = idx
+	s.slots[idx].heapIdx = int32(i)
+}
+
+// siftDown restores heap order from position i toward the leaves and
+// reports whether the entry moved.
+func (s *Scheduler) siftDown(i int) bool {
+	idx := s.heap[i]
+	start := i
+	n := len(s.heap)
+	for {
+		c := heapArity*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.less(s.heap[j], s.heap[best]) {
+				best = j
+			}
+		}
+		if !s.less(s.heap[best], idx) {
+			break
+		}
+		bi := s.heap[best]
+		s.heap[i] = bi
+		s.slots[bi].heapIdx = int32(i)
+		i = best
+	}
+	s.heap[i] = idx
+	s.slots[idx].heapIdx = int32(i)
+	return i != start
+}
+
+// removeAt deletes the heap entry at position i (the caller releases the
+// slot).
+func (s *Scheduler) removeAt(i int) {
+	last := len(s.heap) - 1
+	li := s.heap[last]
+	s.heap = s.heap[:last]
+	if i == last {
+		return
+	}
+	s.heap[i] = li
+	s.slots[li].heapIdx = int32(i)
+	if !s.siftDown(i) {
+		s.siftUp(i)
+	}
 }
 
 // Stop makes the currently running Run/RunUntil loop return after the
@@ -149,13 +337,26 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // step dispatches the earliest pending event, advancing time.
 // It reports whether an event was dispatched.
 func (s *Scheduler) step() bool {
-	if len(s.queue) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*Event)
-	s.now = ev.At
+	idx := s.heap[0]
+	last := len(s.heap) - 1
+	li := s.heap[last]
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.heap[0] = li
+		s.slots[li].heapIdx = 0
+		s.siftDown(0)
+	}
+	sl := &s.slots[idx]
+	s.now = sl.at
+	h, arg := sl.h, sl.arg
+	// Release before dispatch: a self-rescheduling handler chain then
+	// recycles one slot forever instead of walking the slab.
+	s.release(idx)
 	s.executed++
-	ev.Fn()
+	h.OnEvent(arg)
 	return true
 }
 
@@ -172,7 +373,7 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 || s.queue[0].At > deadline {
+		if len(s.heap) == 0 || s.slots[s.heap[0]].at > deadline {
 			break
 		}
 		s.step()

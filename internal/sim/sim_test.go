@@ -18,6 +18,12 @@ func TestTimeString(t *testing.T) {
 		{2500, "2.500ns"},
 		{Microsecond, "1.000us"},
 		{Never, "never"},
+		// Negative durations keep the adaptive unit of their magnitude.
+		{-1, "-1ps"},
+		{-999, "-999ps"},
+		{-2500, "-2.500ns"},
+		{-Microsecond, "-1.000us"},
+		{-Never, "-9223372036854.775us"},
 	}
 	for _, c := range cases {
 		if got := c.t.String(); got != c.want {
@@ -110,8 +116,8 @@ func TestCancel(t *testing.T) {
 	if s.Cancel(ev) {
 		t.Error("second Cancel returned true")
 	}
-	if s.Cancel(nil) {
-		t.Error("Cancel(nil) returned true")
+	if s.Cancel(EventID{}) {
+		t.Error("Cancel of the zero EventID returned true")
 	}
 	s.Run()
 	if ran {
@@ -122,7 +128,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := NewScheduler()
 	var order []int
-	var evs []*Event
+	var evs []EventID
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, s.Schedule(Time(i*10), func() { order = append(order, i) }))
@@ -247,7 +253,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		s := NewScheduler()
 		n := 1 + rnd.Intn(64)
 		type rec struct {
-			ev   *Event
+			ev   EventID
 			at   Time
 			keep bool
 		}
