@@ -55,21 +55,22 @@ obs-smoke:
 	@echo "obs-smoke: trace schema valid and byte-identical at 1 and 4 workers"
 
 # bench-smoke guards the simulation hot path: the kernel micro-benchmarks
-# (which must stay zero-alloc) and the end-to-end Fig6a regeneration run
-# once, and benchguard fails the target on a >10% wall-clock or any
-# allocs/op regression against bench/baseline.json. benchstat, when
-# installed, prints a nicer delta report (advisory, like lint). After a
-# legitimate improvement refresh the baseline with
-# `make bench-smoke BENCHGUARD_FLAGS=-update`.
+# and the NI transaction path (which must stay zero-alloc) plus the
+# end-to-end Fig6a regeneration run once, and benchguard fails the target
+# on a >10% wall-clock or any allocs/op regression against
+# bench/baseline.json. benchstat, when installed, prints a nicer delta
+# report (advisory, like lint). After a legitimate improvement refresh
+# the baseline with `make bench-smoke BENCHGUARD_FLAGS=-update`.
 BENCHGUARD_FLAGS ?=
 bench-smoke:
 	@mkdir -p bin
 	$(GO) build -o bin/benchguard ./cmd/benchguard
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem ./internal/sim | tee bin/bench_kernel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkNITransaction' -benchmem ./internal/network | tee bin/bench_ni.txt
 	ASYNCNOC_WORKERS=1 $(GO) test -run '^$$' -bench 'BenchmarkFig6aLatency' -benchtime 1x -benchmem . | tee bin/bench_fig6a.txt
-	./bin/benchguard -baseline bench/baseline.json $(BENCHGUARD_FLAGS) bin/bench_kernel.txt bin/bench_fig6a.txt
+	./bin/benchguard -baseline bench/baseline.json $(BENCHGUARD_FLAGS) bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
-		benchstat bin/bench_kernel.txt bin/bench_fig6a.txt; \
+		benchstat bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt; \
 	fi
 
 # ci is the gate: vet, build, the full suite under the race detector

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -75,6 +76,7 @@ func main() {
 		fatal(err)
 	}
 	if *update {
+		printDeltaTable(base, samples, *tolerance, *allocTol)
 		if err := writeBaseline(*baselinePath, base, samples); err != nil {
 			fatal(err)
 		}
@@ -82,39 +84,68 @@ func main() {
 		return
 	}
 
-	failed := 0
-	checked := 0
-	for name, want := range base.Benchmarks {
-		s, ok := samples[name]
-		if !ok {
-			fmt.Printf("benchguard: %-42s not in input (skipped)\n", name)
-			continue
-		}
-		checked++
-		ns := s.ns / float64(s.count)
-		allocs := s.allocs / float64(s.count)
-		status := "ok"
-		switch {
-		case ns > want.NsPerOp*(1+*tolerance):
-			status = fmt.Sprintf("FAIL wall clock: %.4g ns/op > %.4g +%.0f%%", ns, want.NsPerOp, 100**tolerance)
-			failed++
-		case want.AllocsPerOp == 0 && allocs > 0:
-			status = fmt.Sprintf("FAIL allocs: %.4g allocs/op, baseline is zero-alloc", allocs)
-			failed++
-		case want.AllocsPerOp > 0 && allocs > want.AllocsPerOp*(1+*allocTol):
-			status = fmt.Sprintf("FAIL allocs: %.4g allocs/op > %.4g +%.0f%%", allocs, want.AllocsPerOp, 100**allocTol)
-			failed++
-		default:
-			status = fmt.Sprintf("ok (%.4g ns/op vs %.4g, %.4g allocs/op)", ns, want.NsPerOp, allocs)
-		}
-		fmt.Printf("benchguard: %-42s %s\n", name, status)
-	}
+	checked, failed := printDeltaTable(base, samples, *tolerance, *allocTol)
 	if checked == 0 {
 		fatal(fmt.Errorf("no input benchmark matched the baseline"))
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d benchmark(s) regressed", failed))
 	}
+}
+
+// printDeltaTable reports every baseline benchmark as one row — old vs
+// observed vs the gate threshold, for both ns/op and allocs/op — and
+// returns how many were checked and how many regressed. It prints on
+// pass, fail, and update alike, so improvements are as visible as
+// regressions.
+func printDeltaTable(base *Baseline, samples map[string]*sample, tolerance, allocTol float64) (checked, failed int) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchguard: %-38s %32s  %32s  %s\n", "benchmark",
+		"ns/op old -> new (limit)", "allocs/op old -> new (limit)", "status")
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		s, ok := samples[name]
+		if !ok {
+			fmt.Printf("benchguard: %-38s not in input (skipped)\n", name)
+			continue
+		}
+		checked++
+		ns := s.ns / float64(s.count)
+		allocs := s.allocs / float64(s.count)
+		nsLimit := want.NsPerOp * (1 + tolerance)
+		// A zero-alloc baseline is exact: any allocation at all fails.
+		allocLimit := want.AllocsPerOp * (1 + allocTol)
+		status := "ok"
+		switch {
+		case ns > nsLimit:
+			status = "FAIL wall clock"
+			failed++
+		case want.AllocsPerOp == 0 && allocs > 0:
+			status = "FAIL allocs (baseline is zero-alloc)"
+			failed++
+		case want.AllocsPerOp > 0 && allocs > allocLimit:
+			status = "FAIL allocs"
+			failed++
+		}
+		fmt.Printf("benchguard: %-38s %32s  %32s  %s\n", name,
+			deltaCell(want.NsPerOp, ns, nsLimit),
+			deltaCell(want.AllocsPerOp, allocs, allocLimit),
+			status)
+	}
+	return checked, failed
+}
+
+// deltaCell renders "old -> new (limit) +x%" for one metric.
+func deltaCell(old, got, limit float64) string {
+	cell := fmt.Sprintf("%.4g -> %.4g (%.4g)", old, got, limit)
+	if old > 0 {
+		cell += fmt.Sprintf(" %+.1f%%", (got-old)/old*100)
+	}
+	return cell
 }
 
 func parseInputs(paths []string) (map[string]*sample, error) {

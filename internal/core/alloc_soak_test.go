@@ -1,0 +1,44 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/traffic"
+)
+
+// TestSteadyStateAllocSoak is the pooled memory model's soak guarantee: a
+// long fault-free run allocates only while the per-run pools grow to
+// their high-water marks, so the second half of the run must be close to
+// allocation-free. The bound is loose enough for a late ring or slab
+// doubling but orders of magnitude below per-packet allocation (the
+// second half injects tens of thousands of packets). Skipped with -short.
+func TestSteadyStateAllocSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc soak skipped with -short")
+	}
+	for _, spec := range AllSpecs(8) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			cfg := RunConfig{
+				Bench: traffic.Multicast{N: 8, Frac: 0.10}, LoadGFs: 0.25, Seed: 1,
+				Warmup: 320 * sim.Nanosecond, Measure: 25600 * sim.Nanosecond,
+				Drain: 800 * sim.Nanosecond,
+			}
+			nw, err := Build(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := cfg.Warmup + cfg.Measure + cfg.Drain
+			nw.Sched.RunUntil(total / 2)
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			nw.Sched.RunUntil(total)
+			runtime.ReadMemStats(&after)
+			if delta := after.Mallocs - before.Mallocs; delta > 500 {
+				t.Errorf("%s: %d allocations in the second half of the run, want ~0", spec.Name, delta)
+			}
+		})
+	}
+}

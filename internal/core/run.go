@@ -329,6 +329,12 @@ func Build(spec network.Spec, cfg RunConfig) (*network.Network, error) {
 	// Mean packet inter-arrival in ps: PacketLen flits at LoadGFs
 	// flits/ns per source.
 	meanGapPs := float64(spec.PacketLen) / cfg.LoadGFs * 1000
+	// Pre-size the recorder from the injection schedule: N open-loop
+	// Poisson processes inject span/meanGap packets each in expectation.
+	// The 9/8 headroom absorbs ordinary Poisson fluctuation; an
+	// underestimate only costs amortized growth.
+	expected := float64(injectUntil) / meanGapPs * float64(spec.N)
+	nw.Rec.Reserve(int(expected*9/8) + spec.N)
 	root := rng.New(cfg.Seed)
 	for s := 0; s < spec.N; s++ {
 		inj := &injector{

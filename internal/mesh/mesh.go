@@ -106,7 +106,7 @@ func (m *Mesh) Tile(x, y int) int { return y*m.Spec.W + x }
 // the router at (x, y) under XY dimension-order routing, returning the
 // port bitmask and the pruned per-port subsets.
 func (m *Mesh) routeOuts(x, y int, dests packet.DestSet) (mask uint8, sub [numPorts]packet.DestSet) {
-	for _, d := range dests.Members() {
+	dests.ForEach(func(d int) {
 		dx, dy := m.Coord(d)
 		var p int
 		switch {
@@ -123,7 +123,7 @@ func (m *Mesh) routeOuts(x, y int, dests packet.DestSet) (mask uint8, sub [numPo
 		}
 		mask |= 1 << uint(p)
 		sub[p] = sub[p].Add(d)
-	}
+	})
 	return mask, sub
 }
 
@@ -217,14 +217,14 @@ func (m *Mesh) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
 	}
 	m.Rec.PacketCreated(p, now)
 	if m.Spec.Serial && dests.Count() > 1 {
-		for _, d := range dests.Members() {
+		dests.ForEach(func(d int) {
 			m.nextID++
 			clone := &packet.Packet{
 				ID: m.nextID, Src: src, Dests: packet.Dest(d),
 				Length: m.Spec.PacketLen, Parent: p, CreatedAt: int64(now),
 			}
 			m.sources[src].enqueue(clone)
-		}
+		})
 		return p, nil
 	}
 	m.sources[src].enqueue(p)

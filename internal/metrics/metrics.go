@@ -8,13 +8,15 @@ package metrics
 import (
 	"asyncnoc/internal/fault"
 	"asyncnoc/internal/packet"
+	"asyncnoc/internal/pool"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/stats"
 )
 
-// pktStat tracks one logical packet's delivery progress.
+// pktStat tracks one logical packet's delivery progress. It is pure value
+// state — it holds no reference to the packet itself, so delivery tracking
+// never keeps a pooled packet alive or reads one after it recycles.
 type pktStat struct {
-	p        *packet.Packet
 	arrived  packet.DestSet
 	measured bool
 	done     bool
@@ -28,7 +30,11 @@ type pktStat struct {
 type Recorder struct {
 	WindowStart, WindowEnd sim.Time
 
-	pkts        map[uint64]*pktStat
+	// pktSlab holds live delivery-tracking records; pktIdx maps packet ID
+	// to slab handle. Both recycle completed packets' storage, so a long
+	// run's tracking state costs only its in-flight high-water mark.
+	pktSlab     pool.Slab[pktStat]
+	pktIdx      pool.IDMap
 	latenciesNs []float64
 
 	// summary caches the sort-once latency summary; it is invalidated
@@ -60,9 +66,23 @@ type Recorder struct {
 // NewRecorder returns a Recorder with an open-ended window; call
 // SetWindow before the measurement phase.
 func NewRecorder() *Recorder {
-	return &Recorder{
-		WindowEnd: sim.Never,
-		pkts:      make(map[uint64]*pktStat),
+	return &Recorder{WindowEnd: sim.Never}
+}
+
+// Reserve pre-sizes the per-packet tracking pools and the latency sample
+// buffer for a run expected to inject `packets` logical packets, so a run
+// matching its injection schedule performs no tracking growth at all.
+// Underestimates are safe — the structures grow on demand as before.
+func (r *Recorder) Reserve(packets int) {
+	if packets <= 0 {
+		return
+	}
+	r.pktSlab.Reserve(packets)
+	r.pktIdx.Reserve(packets)
+	if cap(r.latenciesNs) < packets {
+		grown := make([]float64, len(r.latenciesNs), packets)
+		copy(grown, r.latenciesNs)
+		r.latenciesNs = grown
 	}
 }
 
@@ -90,11 +110,12 @@ func (r *Recorder) inWindow(t sim.Time) bool {
 // PacketCreated registers a logical packet at its creation time. Serial
 // multicast clones must NOT be registered — only their parent.
 func (r *Recorder) PacketCreated(p *packet.Packet, now sim.Time) {
-	if _, dup := r.pkts[p.ID]; dup {
+	if _, dup := r.pktIdx.Get(p.ID); dup {
 		panic(fault.Violationf("metrics", "packet %d registered twice", p.ID))
 	}
-	st := &pktStat{p: p, measured: r.inWindow(now)}
-	r.pkts[p.ID] = st
+	h, st := r.pktSlab.Alloc()
+	st.measured = r.inWindow(now)
+	r.pktIdx.Put(p.ID, h)
 	if st.measured {
 		r.measuredCreated++
 	}
@@ -113,7 +134,7 @@ func logicalOf(p *packet.Packet) *packet.Packet {
 // throttling failure and panic.
 func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
 	logical := logicalOf(p)
-	st, ok := r.pkts[logical.ID]
+	h, ok := r.pktIdx.Get(logical.ID)
 	if !ok {
 		if r.lossTolerant {
 			// A header of a packet already written off by the retry
@@ -124,6 +145,7 @@ func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
 		}
 		panic(fault.Violationf("metrics", "header of unregistered packet %d", logical.ID))
 	}
+	st := r.pktSlab.Get(h)
 	if st.arrived.Has(dest) {
 		panic(fault.Violationf("metrics", "duplicate header delivery of packet %d to dest %d", logical.ID, dest))
 	}
@@ -138,8 +160,9 @@ func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
 			r.measuredDone++
 			r.latenciesNs = append(r.latenciesNs, sim.Time(int64(now)-logical.CreatedAt).Nanoseconds())
 		}
-		// Completed packets no longer need tracking.
-		delete(r.pkts, logical.ID)
+		// Completed packets no longer need tracking: the slot recycles.
+		r.pktIdx.Delete(logical.ID)
+		r.pktSlab.Free(h)
 	}
 }
 
@@ -150,13 +173,15 @@ func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
 // no-op.
 func (r *Recorder) PacketLost(p *packet.Packet, now sim.Time) {
 	logical := logicalOf(p)
-	st, ok := r.pkts[logical.ID]
+	h, ok := r.pktIdx.Get(logical.ID)
 	if !ok {
 		return // already complete, or a sibling clone was lost first
 	}
-	delete(r.pkts, logical.ID)
+	measured := r.pktSlab.Get(h).measured
+	r.pktIdx.Delete(logical.ID)
+	r.pktSlab.Free(h)
 	r.lostPackets++
-	if st.measured {
+	if measured {
 		r.measuredLost++
 	}
 }
@@ -270,9 +295,9 @@ func (r *Recorder) LostPackets() int { return r.lostPackets }
 func (r *Recorder) LateHeaders() int { return r.lateHeaders }
 
 // TrackedPackets returns the number of packets currently held in the
-// delivery-tracking map (tests: soak runs must not grow this without
+// delivery-tracking pool (tests: soak runs must not grow this without
 // bound).
-func (r *Recorder) TrackedPackets() int { return len(r.pkts) }
+func (r *Recorder) TrackedPackets() int { return r.pktSlab.Live() }
 
 // CompletionRate returns the fraction of measured packets that completed
 // (1 when nothing was measured — an idle network is not congested).

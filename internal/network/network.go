@@ -16,6 +16,7 @@ import (
 	"asyncnoc/internal/metrics"
 	"asyncnoc/internal/node"
 	"asyncnoc/internal/packet"
+	"asyncnoc/internal/pool"
 	"asyncnoc/internal/power"
 	"asyncnoc/internal/routing"
 	"asyncnoc/internal/sim"
@@ -156,6 +157,17 @@ type Network struct {
 	chans []*node.Channel
 
 	nextID uint64
+
+	// pooling enables the per-run packet freelist. It is on for every
+	// fault-free network: each packet carries a live-copy refcount
+	// (materialized flits, plus one per fanout replication, minus each
+	// delivery and throttle absorption), and the packet recycles the
+	// instant the count hits zero — by then no flit in any queue,
+	// channel, or node references it. The fault layer breaks copy
+	// conservation (drops, wedged links, retry write-offs with
+	// stragglers in flight), so fault runs simply keep allocating.
+	pooling bool
+	pktFree []*packet.Packet
 }
 
 // FaultStats exposes the run's fault and recovery counters, or nil when
@@ -201,6 +213,7 @@ func New(spec Spec) (*Network, error) {
 		Meter:     power.NewMeter(sched.Now),
 	}
 	nw.Rec.SetLevels(m.Levels)
+	nw.pooling = !spec.Faults.Enabled()
 	if spec.Faults.Enabled() {
 		// The injector must exist before build(): every channel draws its
 		// fault stream in wiring order.
@@ -220,6 +233,39 @@ func New(spec Spec) (*Network, error) {
 		nw.Meter.BackgroundMW = nodes * power.ClockTreeFJPerNodeCycle / float64(spec.SyncPeriod)
 	}
 	return nw, nil
+}
+
+// allocPacket takes a packet from the per-run freelist (or the heap when
+// the list is dry) with every field zeroed.
+func (nw *Network) allocPacket() *packet.Packet {
+	if n := len(nw.pktFree); n > 0 {
+		p := nw.pktFree[n-1]
+		nw.pktFree = nw.pktFree[:n-1]
+		*p = packet.Packet{}
+		return p
+	}
+	return &packet.Packet{}
+}
+
+// releaseCopy retires one live flit copy of p (a delivery or a throttle
+// absorption). When the last copy dies the packet returns to the
+// freelist — and a serial clone's death also retires one clone reference
+// of its logical parent. Callers invoke it after all other uses of the
+// flit in the same event (recorder, meter, trace), so no recycled packet
+// is ever read through a stale flit.
+func (nw *Network) releaseCopy(p *packet.Packet) {
+	p.Refs--
+	if p.Refs != 0 {
+		return
+	}
+	parent := p.Parent
+	nw.pktFree = append(nw.pktFree, p)
+	if parent != nil {
+		parent.Refs--
+		if parent.Refs == 0 {
+			nw.pktFree = append(nw.pktFree, parent)
+		}
+	}
 }
 
 // kindFor returns the node behavior for heap position k.
@@ -310,12 +356,19 @@ func (nw *Network) build() {
 				if nw.Trace != nil {
 					nw.Trace(TraceEvent{Kind: TraceForward, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap, Ports: ports})
 				}
+				if nw.pooling {
+					// A replication turns one live copy into `ports`.
+					f.Pkt.Refs += int32(ports - 1)
+				}
 			}
 			fo.OnAbsorb = func(f packet.Flit) {
 				nw.Meter.NodeAbsorb(area)
 				nw.Rec.FanoutThrottled(level, nw.Sched.Now())
 				if nw.Trace != nil {
 					nw.Trace(TraceEvent{Kind: TraceThrottle, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap})
+				}
+				if nw.pooling {
+					nw.releaseCopy(f.Pkt)
 				}
 			}
 			nw.fanouts[t][k] = fo
@@ -372,6 +425,9 @@ func (nw *Network) build() {
 
 // Inject creates a logical packet from src to dests at the current
 // simulation time and queues it (expanded if the network is serial).
+// On a fault-free network the returned packet is pool-owned: it recycles
+// as soon as its last flit copy is delivered or absorbed, so callers must
+// not read it after advancing the scheduler.
 func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
 	if src < 0 || src >= nw.Spec.N {
 		return nil, fmt.Errorf("network %s: source %d out of range", nw.Spec.Name, src)
@@ -381,36 +437,47 @@ func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error)
 	}
 	now := nw.Sched.Now()
 	nw.nextID++
-	p := &packet.Packet{
-		ID:        nw.nextID,
-		Src:       src,
-		Dests:     dests,
-		Length:    nw.Spec.PacketLen,
-		CreatedAt: int64(now),
-	}
+	p := nw.allocPacket()
+	p.ID = nw.nextID
+	p.Src = src
+	p.Dests = dests
+	p.Length = nw.Spec.PacketLen
+	p.CreatedAt = int64(now)
 	nw.Rec.PacketCreated(p, now)
 	if nw.Trace != nil {
 		nw.Trace(TraceEvent{Kind: TraceInject, At: now, Flit: packet.Flit{Pkt: p}})
 	}
 	if nw.Spec.Serial {
 		// Serial multicast: one unicast clone per destination,
-		// injected back-to-back through the same interface.
-		for _, d := range dests.Members() {
+		// injected back-to-back through the same interface. The logical
+		// parent's refcount holds one reference per clone; it recycles
+		// when its last clone does.
+		if nw.pooling {
+			p.Refs = int32(dests.Count())
+		}
+		var encErr error
+		dests.ForEach(func(d int) {
+			if encErr != nil {
+				return
+			}
 			route, err := routing.EncodeBaseline(nw.MoT, d)
 			if err != nil {
-				return nil, err
+				encErr = err
+				return
 			}
 			nw.nextID++
-			clone := &packet.Packet{
-				ID:        nw.nextID,
-				Src:       src,
-				Dests:     packet.Dest(d),
-				Length:    nw.Spec.PacketLen,
-				Route:     route,
-				Parent:    p,
-				CreatedAt: int64(now),
-			}
+			clone := nw.allocPacket()
+			clone.ID = nw.nextID
+			clone.Src = src
+			clone.Dests = packet.Dest(d)
+			clone.Length = nw.Spec.PacketLen
+			clone.Route = route
+			clone.Parent = p
+			clone.CreatedAt = int64(now)
 			nw.sources[src].enqueue(clone)
+		})
+		if encErr != nil {
+			return nil, encErr
 		}
 		return p, nil
 	}
@@ -424,7 +491,7 @@ func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error)
 }
 
 // SourceQueueLen returns the backlog (in flits) of one source interface.
-func (nw *Network) SourceQueueLen(src int) int { return len(nw.sources[src].queue) }
+func (nw *Network) SourceQueueLen(src int) int { return nw.sources[src].queue.Len() }
 
 // FaultFanoutChannel arms a stuck-at fault on one fanout output channel
 // after `after` successful flits (failure injection for tests).
@@ -446,6 +513,11 @@ type StuckFlit struct {
 	Flit string
 }
 
+// portNames labels fanout output ports in diagnostics. Hoisted to package
+// level so StuckFlits (called per watchdog poll) does not rebuild a map
+// per call.
+var portNames = map[topology.Port]string{topology.Top: "T", topology.Bottom: "B"}
+
 // StuckFlits walks every queue, node stage, and channel in deterministic
 // order and reports each flit still held inside the fabric. A healthy
 // network that has quiesced (empty event queue) holds none; a non-empty
@@ -456,11 +528,11 @@ func (nw *Network) StuckFlits() []StuckFlit {
 	add := func(where string, f packet.Flit) {
 		out = append(out, StuckFlit{Where: where, Flit: f.String()})
 	}
-	portName := map[topology.Port]string{topology.Top: "T", topology.Bottom: "B"}
 	n := nw.Spec.N
 	for t := 0; t < n; t++ {
-		for _, f := range nw.sources[t].queue {
-			add(fmt.Sprintf("source %d queue", t), f)
+		q := &nw.sources[t].queue
+		for i := 0; i < q.Len(); i++ {
+			add(fmt.Sprintf("source %d queue", t), q.At(i))
 		}
 		if f, ok := nw.sources[t].out.InFlightFlit(); ok {
 			add(fmt.Sprintf("channel source %d -> fanout %d/1", t, t), f)
@@ -471,11 +543,11 @@ func (nw *Network) StuckFlits() []StuckFlit {
 				add(fmt.Sprintf("fanout %d/%d input", t, k), f)
 			}
 			for _, p := range []topology.Port{topology.Top, topology.Bottom} {
-				for _, f := range fo.PeekFIFO(p) {
-					add(fmt.Sprintf("fanout %d/%d fifo.%s", t, k, portName[p]), f)
-				}
+				fo.EachQueued(p, func(f packet.Flit) {
+					add(fmt.Sprintf("fanout %d/%d fifo.%s", t, k, portNames[p]), f)
+				})
 				if f, ok := fo.OutputChannel(p).InFlightFlit(); ok {
-					add(fmt.Sprintf("channel fanout %d/%d.%s", t, k, portName[p]), f)
+					add(fmt.Sprintf("channel fanout %d/%d.%s", t, k, portNames[p]), f)
 				}
 			}
 			fi := nw.fanins[t][k]
@@ -484,9 +556,9 @@ func (nw *Network) StuckFlits() []StuckFlit {
 					add(fmt.Sprintf("fanin %d/%d input %d", t, k, port), f)
 				}
 			}
-			for _, f := range fi.PeekFIFO() {
+			fi.EachQueued(func(f packet.Flit) {
 				add(fmt.Sprintf("fanin %d/%d fifo", t, k), f)
-			}
+			})
 			if f, ok := fi.OutputChannel().InFlightFlit(); ok {
 				add(fmt.Sprintf("channel fanin %d/%d", t, k), f)
 			}
@@ -495,21 +567,48 @@ func (nw *Network) StuckFlits() []StuckFlit {
 	return out
 }
 
+// Source and sink interface event payloads. The low byte selects the
+// action; the high bits carry a small operand (the tx-slab slot index for
+// retransmission timers), mirroring the node package's encoding.
+const (
+	// evNIPump: the source interface cycle elapsed — resume the queue.
+	evNIPump = 0
+	// evNITimeout: a tracked packet's retransmission deadline passed;
+	// arg>>8 is its tx-slab slot.
+	evNITimeout = 1
+
+	// evSinkConsume: the sink consume time elapsed — return the channel ack.
+	evSinkConsume = 0
+	// evSinkEndAck: an end-to-end delivery acknowledge matured — pop the
+	// ack queue and confirm at the source.
+	evSinkEndAck = 1
+)
+
 // SourceNI is a source network interface: an injection queue drained one
 // flit per root-channel handshake. With the fault layer enabled it also
 // runs the sender half of the end-to-end retransmission protocol: every
 // packet is tracked until all destinations return a delivery acknowledge,
 // and a per-attempt timer with capped exponential backoff re-injects the
 // whole packet until the retry budget runs out.
+//
+// All per-packet state lives in pooled storage: the flit queue is a ring
+// buffer and the retransmission tracker a slab keyed by the handle stored
+// in Packet.TxSlot, so a steady-state transaction allocates nothing.
 type SourceNI struct {
 	nw    *Network
 	src   int
 	out   *node.Channel
-	queue []packet.Flit
+	queue pool.Ring[packet.Flit]
 	busy  bool
 
-	// tx tracks unacknowledged packets by ID (fault mode only).
-	tx map[uint64]*txState
+	// txSlab tracks unacknowledged packets (fault mode only, gated by
+	// txOn). Timer events carry the raw slot index; the invariant that
+	// makes that safe is cancel-before-free: confirm cancels the timer
+	// before freeing the slot, and a firing timeout either frees without
+	// rearming or rearms while the slot is still live, so a pending
+	// timer's slot is always the occupant it was armed for.
+	txSlab pool.Slab[txState]
+	txOn   bool
 }
 
 // txState is one tracked packet awaiting end-to-end acknowledgment.
@@ -521,46 +620,58 @@ type txState struct {
 }
 
 func newSourceNI(nw *Network, src int) *SourceNI {
-	ni := &SourceNI{nw: nw, src: src}
-	if nw.inj != nil {
-		ni.tx = make(map[uint64]*txState)
-	}
-	return ni
+	return &SourceNI{nw: nw, src: src, txOn: nw.inj != nil}
 }
 
 func (ni *SourceNI) enqueue(p *packet.Packet) {
-	if ni.tx != nil {
-		st := &txState{pkt: p, outstanding: p.Dests}
-		ni.tx[p.ID] = st
-		ni.arm(st)
+	if ni.txOn {
+		h, st := ni.txSlab.Alloc()
+		st.pkt = p
+		st.outstanding = p.Dests
+		p.TxSlot = h
+		ni.arm(h.Index(), st)
+	} else if ni.nw.pooling {
+		// The packet's initial refcount is its materialized flits.
+		p.Refs = int32(p.Length)
 	}
-	ni.queue = append(ni.queue, p.Flits()...)
+	ni.pushFlits(p, 0)
 	ni.pump()
 }
 
+// pushFlits materializes the packet's flits one at a time straight into
+// the ring queue — no per-packet slice.
+func (ni *SourceNI) pushFlits(p *packet.Packet, attempt int) {
+	for i := 0; i < p.Length; i++ {
+		f := p.FlitAt(i)
+		f.Attempt = attempt
+		ni.queue.Push(f)
+	}
+}
+
 // arm schedules the retransmission timer for the packet's next attempt.
-func (ni *SourceNI) arm(st *txState) {
+func (ni *SourceNI) arm(slot int32, st *txState) {
 	cfg := ni.nw.inj.Config()
-	st.timer = ni.nw.Sched.After(sim.Time(cfg.BackoffPs(st.attempts+1)), func() {
-		ni.timeout(st)
-	})
+	st.timer = ni.nw.Sched.In(sim.Time(cfg.BackoffPs(st.attempts+1)), ni,
+		int64(slot)<<8|evNITimeout)
 }
 
 // timeout fires when a tracked packet missed its delivery deadline:
 // retransmit all flits, or write the packet off once the budget is spent.
-func (ni *SourceNI) timeout(st *txState) {
+func (ni *SourceNI) timeout(slot int32) {
+	st := ni.txSlab.At(slot)
 	cfg := ni.nw.inj.Config()
 	stats := &ni.nw.inj.Stats
 	if st.attempts >= cfg.MaxRetries {
-		stats.LostFlits += st.pkt.Length * st.outstanding.Count()
+		pkt, attempts := st.pkt, st.attempts
+		stats.LostFlits += pkt.Length * st.outstanding.Count()
 		stats.LostPackets++
-		delete(ni.tx, st.pkt.ID)
+		ni.txSlab.Free(pkt.TxSlot)
 		// Release the recorder's per-packet tracking state: the packet
 		// can never complete, and soak runs must not accumulate it.
-		ni.nw.Rec.PacketLost(st.pkt, ni.nw.Sched.Now())
+		ni.nw.Rec.PacketLost(pkt, ni.nw.Sched.Now())
 		if ni.nw.Trace != nil {
 			ni.nw.Trace(TraceEvent{Kind: TraceDrop, At: ni.nw.Sched.Now(),
-				Flit: packet.Flit{Pkt: st.pkt, Attempt: st.attempts}})
+				Flit: packet.Flit{Pkt: pkt, Attempt: attempts}})
 		}
 		return
 	}
@@ -570,34 +681,31 @@ func (ni *SourceNI) timeout(st *txState) {
 		ni.nw.Trace(TraceEvent{Kind: TraceRetransmit, At: ni.nw.Sched.Now(),
 			Flit: packet.Flit{Pkt: st.pkt, Attempt: st.attempts}})
 	}
-	fs := st.pkt.Flits()
-	for i := range fs {
-		fs[i].Attempt = st.attempts
-	}
-	ni.queue = append(ni.queue, fs...)
-	ni.arm(st)
+	ni.pushFlits(st.pkt, st.attempts)
+	ni.arm(slot, st)
 	ni.pump()
 }
 
 // confirm processes one destination's end-to-end delivery acknowledge.
-func (ni *SourceNI) confirm(id uint64, dest int) {
-	st, ok := ni.tx[id]
-	if !ok {
+// A stale handle (the packet already completed or was written off, and
+// the slot's generation advanced) is a no-op.
+func (ni *SourceNI) confirm(h pool.Handle, dest int) {
+	st := ni.txSlab.Get(h)
+	if st == nil {
 		return // already complete or written off
 	}
 	st.outstanding &^= packet.Dest(dest)
 	if st.outstanding.Empty() {
 		ni.nw.Sched.Cancel(st.timer)
-		delete(ni.tx, id)
+		ni.txSlab.Free(h)
 	}
 }
 
 func (ni *SourceNI) pump() {
-	if ni.busy || len(ni.queue) == 0 {
+	if ni.busy || ni.queue.Len() == 0 {
 		return
 	}
-	f := ni.queue[0]
-	ni.queue = ni.queue[1:]
+	f := ni.queue.Pop()
 	ni.busy = true
 	ni.nw.Meter.Interface()
 	ni.out.Send(f)
@@ -605,14 +713,18 @@ func (ni *SourceNI) pump() {
 
 // OnAck implements node.AckTarget: the root channel returned its ack.
 func (ni *SourceNI) OnAck(int) {
-	ni.nw.Sched.In(timing.NICycle, ni, 0)
+	ni.nw.Sched.In(timing.NICycle, ni, evNIPump)
 }
 
-// OnEvent implements sim.Handler: the interface cycle time elapsed,
-// resume pumping the injection queue.
-func (ni *SourceNI) OnEvent(int64) {
-	ni.busy = false
-	ni.pump()
+// OnEvent implements sim.Handler: the source interface's timer events.
+func (ni *SourceNI) OnEvent(arg int64) {
+	switch arg & 0xff {
+	case evNIPump:
+		ni.busy = false
+		ni.pump()
+	case evNITimeout:
+		ni.timeout(int32(arg >> 8))
+	}
 }
 
 // SinkNI is a destination network interface: it consumes flits, records
@@ -626,9 +738,19 @@ type SinkNI struct {
 	dest int
 	in   *node.Channel
 
-	// rx deduplicates per-packet flit arrivals by index bitmask
-	// (fault mode only).
-	rx map[uint64]*rxState
+	// rxSlab/rxIdx deduplicate per-packet flit arrivals by index bitmask
+	// (fault mode only, gated by rxOn). Entries are never freed — exactly
+	// the retention the map they replace had, so a late straggler from a
+	// written-off packet still deduplicates correctly.
+	rxOn   bool
+	rxSlab pool.Slab[rxState]
+	rxIdx  pool.IDMap
+
+	// acks queues matured end-to-end acknowledges. Every ack matures
+	// after the same constant delay, so the scheduler fires evSinkEndAck
+	// events in push order and a FIFO carries the (source, tx handle)
+	// payload without a per-ack closure.
+	acks pool.Ring[endAck]
 }
 
 // rxState is one packet's receive progress at a destination.
@@ -637,23 +759,43 @@ type rxState struct {
 	acked bool   // end-to-end acknowledge already scheduled
 }
 
-func newSinkNI(nw *Network, dest int) *SinkNI {
-	ni := &SinkNI{nw: nw, dest: dest}
-	if nw.inj != nil {
-		ni.rx = make(map[uint64]*rxState)
-	}
-	return ni
+// endAck is one pending end-to-end delivery acknowledge.
+type endAck struct {
+	src int
+	h   pool.Handle // the packet's tx-slab handle at its source
 }
 
-// OnEvent implements sim.Handler: the consume time elapsed, return the
-// channel acknowledge.
-func (ni *SinkNI) OnEvent(int64) { ni.in.Ack() }
+func newSinkNI(nw *Network, dest int) *SinkNI {
+	return &SinkNI{nw: nw, dest: dest, rxOn: nw.inj != nil}
+}
+
+// rxStateFor returns the receive progress for packet id, creating it on
+// first arrival.
+func (ni *SinkNI) rxStateFor(id uint64) *rxState {
+	if h, ok := ni.rxIdx.Get(id); ok {
+		return ni.rxSlab.Get(h)
+	}
+	h, st := ni.rxSlab.Alloc()
+	ni.rxIdx.Put(id, h)
+	return st
+}
+
+// OnEvent implements sim.Handler: the sink interface's timer events.
+func (ni *SinkNI) OnEvent(arg int64) {
+	switch arg {
+	case evSinkConsume:
+		ni.in.Ack()
+	case evSinkEndAck:
+		a := ni.acks.Pop()
+		ni.nw.sources[a.src].confirm(a.h, ni.dest)
+	}
+}
 
 // OnFlit implements node.Sink.
 func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	now := ni.nw.Sched.Now()
 	ni.nw.Meter.Interface()
-	if ni.rx == nil {
+	if !ni.rxOn {
 		// Fault layer disabled: the legacy path, bit-identical to the
 		// pre-fault model.
 		ni.nw.Rec.FlitDelivered(now)
@@ -663,7 +805,12 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 		if ni.nw.Trace != nil {
 			ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
 		}
-		ni.nw.Sched.In(timing.SinkAck, ni, 0)
+		ni.nw.Sched.In(timing.SinkAck, ni, evSinkConsume)
+		if ni.nw.pooling {
+			// Last use of the flit in this event: recorder, trace, and
+			// ack are done, so the delivered copy can retire.
+			ni.nw.releaseCopy(f.Pkt)
+		}
 		return
 	}
 	// Fault mode: the physical arrival is always traced and acknowledged
@@ -672,15 +819,11 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	if ni.nw.Trace != nil {
 		ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
 	}
-	ni.nw.Sched.In(timing.SinkAck, ni, 0)
+	ni.nw.Sched.In(timing.SinkAck, ni, evSinkConsume)
 	if !f.CheckCRC() {
 		return // corrupted in flight; recovered by retransmission
 	}
-	st := ni.rx[f.Pkt.ID]
-	if st == nil {
-		st = &rxState{}
-		ni.rx[f.Pkt.ID] = st
-	}
+	st := ni.rxStateFor(f.Pkt.ID)
 	bit := uint64(1) << uint(f.Index)
 	if st.got&bit != 0 {
 		return // duplicate from a retransmission
@@ -695,9 +838,7 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	}
 	if !st.acked && st.got == uint64(1)<<uint(f.Pkt.Length)-1 {
 		st.acked = true
-		id, src := f.Pkt.ID, f.Pkt.Src
-		ni.nw.Sched.After(sim.Time(ni.nw.inj.Config().AckDelayPs), func() {
-			ni.nw.sources[src].confirm(id, ni.dest)
-		})
+		ni.acks.Push(endAck{src: f.Pkt.Src, h: f.Pkt.TxSlot})
+		ni.nw.Sched.In(sim.Time(ni.nw.inj.Config().AckDelayPs), ni, evSinkEndAck)
 	}
 }

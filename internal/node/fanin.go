@@ -36,9 +36,18 @@ type Fanin struct {
 	in      [2]*Channel
 	out     *Channel
 	outBusy bool
-	fifo    []packet.Flit
+	// fifo is a fixed two-slot ring (the [21] switch's output stage);
+	// head/length cursors in a value array keep the node's entire flit
+	// traffic allocation-free.
+	fifo     [faninFIFO]packet.Flit
+	fifoHead int
+	fifoLen  int
 
-	pending    [2]*packet.Flit
+	// pending holds the unacknowledged input flit per port by value;
+	// the pointer form heap-allocated a copy per arrival (~30% of a
+	// run's allocations before pooling).
+	pending    [2]packet.Flit
+	hasPending [2]bool
 	locked     int // input index owning the output, -1 when free
 	lastWin    int
 	forwarding bool // a flit is traversing the arbitration/grant stage
@@ -89,23 +98,23 @@ func (n *Fanin) OutputChannel() *Channel { return n.out }
 
 // OnFlit implements Sink.
 func (n *Fanin) OnFlit(port int, f packet.Flit) {
-	if n.pending[port] != nil {
+	if n.hasPending[port] {
 		panic(fault.Violationf(fmt.Sprintf("fanin %d/%d", n.Tree, n.Heap),
-			"flit %v arrived on port %d while %v unacknowledged", f, port, *n.pending[port]))
+			"flit %v arrived on port %d while %v unacknowledged", f, port, n.pending[port]))
 	}
 	if !f.IsHeader() && n.locked != port {
 		panic(fault.Violationf(fmt.Sprintf("fanin %d/%d", n.Tree, n.Heap),
 			"body flit %v on unlocked port %d", f, port))
 	}
-	fl := f
-	n.pending[port] = &fl
+	n.pending[port] = f
+	n.hasPending[port] = true
 	n.tryForward()
 }
 
 // tryForward arbitrates and moves at most one flit through the grant
 // stage into the output buffer.
 func (n *Fanin) tryForward() {
-	if n.forwarding || len(n.fifo) >= faninFIFO {
+	if n.forwarding || n.fifoLen >= faninFIFO {
 		return
 	}
 	if now := n.sched.Now(); now < n.nextAllowed {
@@ -117,7 +126,7 @@ func (n *Fanin) tryForward() {
 	}
 	pick := -1
 	if n.locked >= 0 {
-		if n.pending[n.locked] == nil {
+		if !n.hasPending[n.locked] {
 			return
 		}
 		pick = n.locked
@@ -125,7 +134,7 @@ func (n *Fanin) tryForward() {
 		// Round-robin arbitration among pending headers.
 		for off := 1; off <= 2; off++ {
 			cand := (n.lastWin + off) % 2
-			if n.pending[cand] != nil {
+			if n.hasPending[cand] {
 				pick = cand
 				break
 			}
@@ -134,8 +143,9 @@ func (n *Fanin) tryForward() {
 			return
 		}
 	}
-	f := *n.pending[pick]
-	n.pending[pick] = nil
+	f := n.pending[pick]
+	n.pending[pick] = packet.Flit{}
+	n.hasPending[pick] = false
 	n.forwarding = true
 	n.fwdFlit = f
 	if f.IsTail() {
@@ -157,7 +167,8 @@ func (n *Fanin) OnEvent(arg int64) {
 	case evFiGrant:
 		f := n.fwdFlit
 		n.forwarding = false
-		n.fifo = append(n.fifo, f)
+		n.fifo[(n.fifoHead+n.fifoLen)%faninFIFO] = f
+		n.fifoLen++
 		if n.OnForward != nil {
 			n.OnForward(f)
 		}
@@ -171,11 +182,13 @@ func (n *Fanin) OnEvent(arg int64) {
 
 // pump drives the head of the output buffer onto the wire when idle.
 func (n *Fanin) pump() {
-	if n.outBusy || len(n.fifo) == 0 {
+	if n.outBusy || n.fifoLen == 0 {
 		return
 	}
-	f := n.fifo[0]
-	n.fifo = n.fifo[1:]
+	f := n.fifo[n.fifoHead]
+	n.fifo[n.fifoHead] = packet.Flit{} // drop the Pkt reference
+	n.fifoHead = (n.fifoHead + 1) % faninFIFO
+	n.fifoLen--
 	n.outBusy = true
 	n.out.Send(f)
 }
@@ -190,12 +203,21 @@ func (n *Fanin) OnAck(int) {
 // PendingFlit returns the unacknowledged flit on one input port, if any
 // (deadlock diagnostics).
 func (n *Fanin) PendingFlit(port int) (packet.Flit, bool) {
-	if n.pending[port] == nil {
-		return packet.Flit{}, false
+	return n.pending[port], n.hasPending[port]
+}
+
+// EachQueued calls fn for every flit in the output buffer in queue order
+// without copying (deadlock diagnostics).
+func (n *Fanin) EachQueued(fn func(packet.Flit)) {
+	for i := 0; i < n.fifoLen; i++ {
+		fn(n.fifo[(n.fifoHead+i)%faninFIFO])
 	}
-	return *n.pending[port], true
 }
 
 // PeekFIFO returns a copy of the output-buffer contents (deadlock
-// diagnostics).
-func (n *Fanin) PeekFIFO() []packet.Flit { return append([]packet.Flit(nil), n.fifo...) }
+// diagnostics and tests).
+func (n *Fanin) PeekFIFO() []packet.Flit {
+	out := make([]packet.Flit, 0, n.fifoLen)
+	n.EachQueued(func(f packet.Flit) { out = append(out, f) })
+	return out
+}

@@ -81,12 +81,14 @@ func (s *TraceSink) Event(ev network.TraceEvent) {
 	switch ev.Kind {
 	case network.TraceInject:
 		b = append(b, `,"dests":[`...)
-		for i, d := range p.Dests.Members() {
-			if i > 0 {
+		first := true
+		p.Dests.ForEach(func(d int) {
+			if !first {
 				b = append(b, ',')
 			}
+			first = false
 			b = strconv.AppendInt(b, int64(d), 10)
-		}
+		})
 		b = append(b, ']')
 	case network.TraceForward, network.TraceThrottle:
 		b = appendFlit(b, ev.Flit)

@@ -8,11 +8,12 @@
 package packet
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"math/bits"
 	"strings"
+
+	"asyncnoc/internal/pool"
 )
 
 // DestSet is a bitmask over destination terminal indices (bit d set means
@@ -58,7 +59,8 @@ func Range(lo, hi int) DestSet {
 	return ((1 << uint(hi-lo)) - 1) << uint(lo)
 }
 
-// Members returns the destinations in ascending order.
+// Members returns the destinations in ascending order. It allocates;
+// hot paths iterate with ForEach instead.
 func (s DestSet) Members() []int {
 	out := make([]int, 0, s.Count())
 	for v := uint64(s); v != 0; {
@@ -67,6 +69,15 @@ func (s DestSet) Members() []int {
 		v &= v - 1
 	}
 	return out
+}
+
+// ForEach calls fn for every destination in ascending order without
+// allocating — the hot-path iteration primitive (injection expansion,
+// routing and throttle checks); Members remains for tests and display.
+func (s DestSet) ForEach(fn func(d int)) {
+	for v := uint64(s); v != 0; v &= v - 1 {
+		fn(bits.TrailingZeros64(v))
+	}
 }
 
 // First returns the smallest destination in the set, or -1 if empty.
@@ -138,6 +149,15 @@ type Packet struct {
 	// CreatedAt is the generation timestamp in picoseconds, recorded by
 	// the network interface for latency accounting.
 	CreatedAt int64
+
+	// Refs and TxSlot are per-run pool bookkeeping managed by the owning
+	// network (see internal/network): Refs counts the packet's live flit
+	// copies in the fabric (materialized minus delivered/absorbed; for a
+	// serial-multicast parent, its outstanding clones) so the packet can
+	// be recycled the instant the last copy dies, and TxSlot is the
+	// source interface's retransmission-slot handle in fault mode.
+	Refs   int32
+	TxSlot pool.Handle
 }
 
 // IsMulticast reports whether the packet addresses more than one destination.
@@ -179,11 +199,18 @@ func payloadFor(id uint64, index int) uint64 {
 	return z ^ (z >> 31)
 }
 
-// payloadCRC computes the CRC-32C of a payload word.
+// payloadCRC computes the CRC-32C of a payload word, processing its
+// bytes in little-endian order. The table loop is bit-identical to
+// crc32.Checksum over the same eight bytes (locked by a test) but keeps
+// the word in registers: the library call forces a heap-escaping staging
+// buffer, which was one allocation per materialized flit.
 func payloadCRC(payload uint64) uint32 {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], payload)
-	return crc32.Checksum(b[:], crcTable)
+	crc := ^uint32(0)
+	for i := 0; i < 8; i++ {
+		crc = crcTable[byte(crc)^byte(payload)] ^ (crc >> 8)
+		payload >>= 8
+	}
+	return ^crc
 }
 
 // CheckCRC reports whether the flit's payload still matches its checksum
@@ -223,13 +250,22 @@ func (f Flit) String() string {
 	return fmt.Sprintf("pkt%d[%d/%d:%s]", f.Pkt.ID, f.Index, f.Pkt.Length, f.Kind())
 }
 
+// FlitAt materializes the i-th flit of the packet (0-based) with its
+// payload sealed under the CRC-32C checksum. It does not allocate; the
+// network interfaces materialize flits one at a time straight into their
+// ring queues instead of building a slice per packet.
+func (p *Packet) FlitAt(i int) Flit {
+	payload := payloadFor(p.ID, i)
+	return Flit{Pkt: p, Index: i, Payload: payload, CRC: payloadCRC(payload)}
+}
+
 // Flits materializes all flits of the packet in order, with payloads
-// sealed under their CRC-32C checksums.
+// sealed under their CRC-32C checksums (tests and cold paths; hot paths
+// use FlitAt).
 func (p *Packet) Flits() []Flit {
 	out := make([]Flit, p.Length)
 	for i := range out {
-		payload := payloadFor(p.ID, i)
-		out[i] = Flit{Pkt: p, Index: i, Payload: payload, CRC: payloadCRC(payload)}
+		out[i] = p.FlitAt(i)
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package packet
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 )
@@ -163,4 +165,62 @@ func TestCountMembersProperty(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// Property: ForEach visits exactly the Members, in the same ascending
+// order, without allocating.
+func TestForEachMatchesMembers(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := DestSet(raw)
+		want := s.Members()
+		i := 0
+		ok := true
+		s.ForEach(func(d int) {
+			if i >= len(want) || want[i] != d {
+				ok = false
+			}
+			i++
+		})
+		return ok && i == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	s := Dests(0, 5, 17, 63)
+	var sink int
+	if n := testing.AllocsPerRun(100, func() {
+		s.ForEach(func(d int) { sink += d })
+	}); n != 0 {
+		t.Errorf("ForEach allocated %v times per run", n)
+	}
+}
+
+// The register-resident CRC loop must match the library CRC-32C over the
+// payload's little-endian bytes bit for bit — the checksum is part of
+// the golden-trace surface.
+func TestPayloadCRCMatchesLibrary(t *testing.T) {
+	f := func(payload uint64) bool {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], payload)
+		return payloadCRC(payload) == crc32.Checksum(b[:], crcTable)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// FlitAt must agree with Flits and allocate nothing.
+func TestFlitAtMatchesFlits(t *testing.T) {
+	p := &Packet{ID: 77, Src: 3, Dests: Dests(1, 4), Length: 5}
+	all := p.Flits()
+	for i, want := range all {
+		if got := p.FlitAt(i); got != want {
+			t.Errorf("FlitAt(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+	var sink Flit
+	if n := testing.AllocsPerRun(100, func() { sink = p.FlitAt(2) }); n != 0 {
+		t.Errorf("FlitAt allocated %v times per run", n)
+	}
+	_ = sink
 }

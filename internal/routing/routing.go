@@ -123,17 +123,18 @@ func NodeSymbol(p *topology.Placement, k int, route uint64) Symbol {
 }
 
 // EncodeBaseline packs the baseline unicast path: bit lvl selects the
-// output of the level-lvl node on the path (0 = top, 1 = bottom).
+// output of the level-lvl node on the path (0 = top, 1 = bottom). Since
+// Child(k, p) = 2k+p, the port taken at each level is a bit of the
+// destination leaf's heap index, read leaf to root — no materialized
+// path, so the per-packet serial expansion stays allocation-free.
 func EncodeBaseline(m *topology.MoT, dest int) (uint64, error) {
 	if dest < 0 || dest >= m.N {
 		return 0, fmt.Errorf("routing: destination %d outside [0,%d)", dest, m.N)
 	}
 	var route uint64
-	path := m.PathTo(dest)
-	for lvl, k := range path {
-		if m.PortToward(k, dest) == topology.Bottom {
-			route |= 1 << uint(lvl)
-		}
+	for c, lvl := m.N+dest, m.Levels-1; lvl >= 0; lvl-- {
+		route |= uint64(c&1) << uint(lvl)
+		c /= 2
 	}
 	return route, nil
 }
