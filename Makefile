@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke ci experiments clean
+.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke test-routing ci experiments clean
 
 all: build
 
@@ -33,9 +33,10 @@ vuln:
 		echo "vuln: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# soak runs the long fault-injection soak (all six architectures at a
-# 1e-4 fault rate) under the race detector. The test self-skips with
-# -short, so `go test -short ./...` stays fast.
+# soak runs the long fault-injection soaks (all six architectures, plus
+# every routing strategy on the optimized fabrics, at a 1e-4 fault rate)
+# under the race detector. The tests self-skip with -short, so
+# `go test -short ./...` stays fast.
 soak:
 	$(GO) test -race -run TestFaultSoak ./internal/core
 
@@ -54,9 +55,10 @@ obs-smoke:
 	cmp bin/trace_w1.jsonl bin/trace_w4.jsonl
 	@echo "obs-smoke: trace schema valid and byte-identical at 1 and 4 workers"
 
-# bench-smoke guards the simulation hot path: the kernel micro-benchmarks
-# and the NI transaction path (which must stay zero-alloc) plus the
-# end-to-end Fig6a regeneration run once, and benchguard fails the target
+# bench-smoke guards the simulation hot path: the kernel micro-benchmarks,
+# the NI transaction path, and the per-scheme strategy planning paths
+# (all of which must stay zero-alloc) plus the end-to-end Fig6a
+# regeneration run once, and benchguard fails the target
 # on a >10% wall-clock or any allocs/op regression against
 # bench/baseline.json. benchstat, when installed, prints a nicer delta
 # report (advisory, like lint). After a legitimate improvement refresh
@@ -66,18 +68,29 @@ bench-smoke:
 	@mkdir -p bin
 	$(GO) build -o bin/benchguard ./cmd/benchguard
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem ./internal/sim | tee bin/bench_kernel.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkNITransaction' -benchmem ./internal/network | tee bin/bench_ni.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkNITransaction|BenchmarkStrategy' -benchmem ./internal/network | tee bin/bench_ni.txt
 	ASYNCNOC_WORKERS=1 $(GO) test -run '^$$' -bench 'BenchmarkFig6aLatency' -benchtime 1x -benchmem . | tee bin/bench_fig6a.txt
 	./bin/benchguard -baseline bench/baseline.json $(BENCHGUARD_FLAGS) bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt; \
 	fi
 
+# test-routing is the scheme-shootout shard: the routing package (the
+# Strategy interface and all five multicast schemes) runs alone with a
+# coverage gate — the strategy layer must keep >= 90% statement coverage.
+test-routing:
+	@mkdir -p bin
+	$(GO) test -coverprofile=bin/routing_cover.out ./internal/routing
+	@total=$$($(GO) tool cover -func=bin/routing_cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "test-routing: internal/routing coverage $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 90.0) ? 0 : 1 }' || \
+		{ echo "test-routing: coverage $$total% below the 90% gate"; exit 1; }
+
 # ci is the gate: vet, build, the full suite under the race detector
 # (engine determinism, property, and fault-layer tests included), the
 # fault soak, the observability smoke, the hot-path benchmark guard, and
 # the optional static analyzers.
-ci: vet build race soak obs-smoke bench-smoke lint vuln
+ci: vet build test-routing race soak obs-smoke bench-smoke lint vuln
 
 # experiments regenerates the paper's tables at CI scale.
 experiments:

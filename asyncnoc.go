@@ -146,6 +146,26 @@ type DestSet = packet.DestSet
 // Dests builds a destination set from indices.
 func Dests(ds ...int) DestSet { return packet.Dests(ds...) }
 
+// ParseDests parses and validates a comma-separated destination list
+// ("0,3,5") against an n-terminal network: entries must be integers in
+// [0, n) with no duplicates, and the set must not be empty.
+func ParseDests(s string, n int) (DestSet, error) { return packet.ParseDestSet(s, n) }
+
+// FixedDests returns a benchmark that sends every packet to one fixed
+// destination set (the motsim -dests workload).
+func FixedDests(n int, set DestSet) Benchmark { return traffic.Fixed{N: n, Set: set} }
+
+// StrategyNames lists the registered multicast routing strategies in
+// reporting order.
+func StrategyNames() []string { return routing.StrategyNames() }
+
+// WithStrategy rebuilds a spec to plan injections under the named
+// routing strategy (see StrategyNames); the reporting name gains a
+// "+strategy" suffix. An empty name keeps the architecture's default.
+func WithStrategy(s NetworkSpec, strategy string) NetworkSpec {
+	return core.WithStrategy(s, strategy)
+}
+
 // Rand is the deterministic random source handed to Benchmark
 // implementations; custom traffic patterns implement Benchmark with it.
 type Rand = rng.Source

@@ -4,8 +4,13 @@
 //   - node-level area/latency results (Section 5.2(a))
 //   - Fig. 6(a): contribution-trajectory network latency
 //   - Fig. 6(b): design-space network latency
+//   - Fig. 7: the multicast-scheme shootout across routing strategies
 //   - Table 1: saturation throughput and total network power
 //   - the addressing-scheme comparison (Section 5.2(d))
+//
+// Fig. 6(a)/6(b), Fig. 7, and Table 1 carry extra rows for the related-
+// work routing strategies (path-based multicast and Dynamic Partition
+// Merging), and the addressing comparison their header-cost columns.
 //
 // With -quick the measurement windows shrink to CI scale (~seconds);
 // without it the paper-scale windows run in a few minutes.
@@ -90,6 +95,10 @@ func main() {
 	fig6b, err := s.Fig6b()
 	check(err)
 	emit("fig6b_latency", fig6b)
+
+	fig7, err := s.Fig7Shootout()
+	check(err)
+	emit("fig7_shootout", fig7)
 
 	thr, err := s.Table1Throughput()
 	check(err)

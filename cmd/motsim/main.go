@@ -38,6 +38,8 @@ func main() {
 	var (
 		networkName = flag.String("network", "OptHybridSpeculative", "network architecture (use -list for names)")
 		benchName   = flag.String("bench", "UniformRandom", "benchmark (use -list for names)")
+		strategy    = flag.String("strategy", "", "multicast routing strategy (use -list for names; empty = the architecture's default)")
+		dests       = flag.String("dests", "", "fixed destination set, e.g. 1,3,5 (overrides -bench)")
 		n           = flag.Int("n", 8, "MoT radix (power of two)")
 		load        = flag.Float64("load", 0.4, "offered load in GF/s per source")
 		seed        = flag.Uint64("seed", 1, "random seed")
@@ -77,6 +79,10 @@ func main() {
 		for _, b := range asyncnoc.Benchmarks(8) {
 			fmt.Printf("  %s\n", b.Name())
 		}
+		fmt.Println("strategies:")
+		for _, name := range asyncnoc.StrategyNames() {
+			fmt.Printf("  %s\n", name)
+		}
 		return
 	}
 
@@ -99,6 +105,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	spec = asyncnoc.WithStrategy(spec, *strategy)
 	if *faults > 0 {
 		spec.Faults.CorruptRate = *faults
 		spec.Faults.DropRate = *faults
@@ -136,6 +143,13 @@ func main() {
 	bench, err := asyncnoc.BenchmarkByName(*n, *benchName)
 	if err != nil {
 		fatal(err)
+	}
+	if *dests != "" {
+		set, err := asyncnoc.ParseDests(*dests, *n)
+		if err != nil {
+			fatal(err)
+		}
+		bench = asyncnoc.FixedDests(*n, set)
 	}
 	cfg := asyncnoc.RunConfig{
 		Bench:     bench,

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"asyncnoc"
 )
@@ -74,6 +75,8 @@ func main() {
 // network of n terminals. Every malformed row is reported with its file
 // position so truncated or corrupt recordings fail with a usable message
 // instead of a downstream panic or a silently empty destination set.
+// Destination cells go through the shared validated parser, so duplicate
+// destinations in a row are rejected rather than silently deduplicated.
 func parseSchedule(path string, n int) (asyncnoc.Schedule, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -106,16 +109,9 @@ func parseSchedule(path string, n int) (asyncnoc.Schedule, error) {
 		if src < 0 || src >= n {
 			return nil, fmt.Errorf("%s:%d: source %d outside [0,%d)", path, i+1, src, n)
 		}
-		var dests asyncnoc.DestSet
-		for _, cell := range row[2:] {
-			d, err := strconv.Atoi(cell)
-			if err != nil {
-				return nil, fmt.Errorf("%s:%d: bad destination %q: %v", path, i+1, cell, err)
-			}
-			if d < 0 || d >= n {
-				return nil, fmt.Errorf("%s:%d: destination %d outside [0,%d)", path, i+1, d, n)
-			}
-			dests = dests.Add(d)
+		dests, err := asyncnoc.ParseDests(strings.Join(row[2:], ","), n)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, i+1, err)
 		}
 		sched = append(sched, asyncnoc.Injection{
 			At:    asyncnoc.Time(tns * 1000),

@@ -47,3 +47,65 @@ func TestGoldenRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenStrategyRuns extends the golden locks to the strategy
+// shootout variants that feed the new Fig. 6/7 and Table 1 columns:
+// path-based multicast and Dynamic Partition Merging on the optimized
+// fabrics, plus cross-fabric serial unicast. Each workload runs through
+// engines of different pool sizes and must produce byte-identical
+// measurements — the memo keys include the strategy, so variants never
+// alias the default scheme's runs.
+func TestGoldenStrategyRuns(t *testing.T) {
+	want := map[string]string{
+		// On the hybrid fabric DPM's link-cost merging folds every
+		// partition back into one tree packet, reproducing the default
+		// speculative multicast exactly; on the serial baseline every
+		// scheme degenerates to unicast expansion (path-based only
+		// reorders the descending half).
+		"OptHybridSpeculative+SerialUnicast": "lat=2.8287 thr=0.4996 pwr=21.8295 compl=1.0000 n=362",
+		"OptHybridSpeculative+PathBased":     "lat=2.0820 thr=0.4996 pwr=19.9460 compl=1.0000 n=362",
+		"OptHybridSpeculative+DPM":           "lat=1.9694 thr=0.4996 pwr=19.6090 compl=1.0000 n=362",
+		"OptNonSpeculative+SerialUnicast":    "lat=3.3898 thr=0.5006 pwr=20.2937 compl=1.0000 n=362",
+		"OptNonSpeculative+PathBased":        "lat=2.3364 thr=0.4998 pwr=18.7752 compl=1.0000 n=362",
+		"OptNonSpeculative+DPM":              "lat=2.4797 thr=0.4998 pwr=18.7290 compl=1.0000 n=362",
+		"Baseline+SerialUnicast":             "lat=3.9997 thr=0.5015 pwr=19.7937 compl=1.0000 n=362",
+		"Baseline+PathBased":                 "lat=3.9819 thr=0.5015 pwr=19.7932 compl=1.0000 n=362",
+		"Baseline+DPM":                       "lat=3.9997 thr=0.5015 pwr=19.7937 compl=1.0000 n=362",
+	}
+	var specs []asyncnoc.NetworkSpec
+	for _, base := range []string{"OptHybridSpeculative", "OptNonSpeculative", "Baseline"} {
+		spec, err := asyncnoc.NetworkByName(8, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []string{"SerialUnicast", "PathBased", "DPM"} {
+			specs = append(specs, asyncnoc.WithStrategy(spec, strat))
+		}
+	}
+	for _, spec := range specs {
+		jobs := []asyncnoc.Job{{Spec: spec, Cfg: goldenCfg()}}
+		var first string
+		for _, workers := range []int{1, 4} {
+			results, err := asyncnoc.NewEngine(workers).RunJobs(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := results[0]
+			got := fmt.Sprintf("lat=%.4f thr=%.4f pwr=%.4f compl=%.4f n=%d",
+				res.AvgLatencyNs, res.ThroughputGFs, res.PowerMW, res.Completion, res.MeasuredPackets)
+			if first == "" {
+				first = got
+			} else if got != first {
+				t.Errorf("%s: workers=%d drifted from workers=1:\n got  %s\n want %s",
+					spec.Name, workers, got, first)
+			}
+		}
+		if want[spec.Name] == "" {
+			t.Logf("GOLDEN %q: %q", spec.Name, first)
+			continue
+		}
+		if first != want[spec.Name] {
+			t.Errorf("%s drifted:\n got  %s\n want %s", spec.Name, first, want[spec.Name])
+		}
+	}
+}

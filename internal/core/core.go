@@ -144,6 +144,20 @@ func Synchronous(spec network.Spec) network.Spec {
 	return spec
 }
 
+// WithStrategy rebuilds a spec to plan injections under the named
+// multicast routing scheme (see routing.StrategyNames); the reporting
+// name gains a "+strategy" suffix so tables and engine memo keys
+// distinguish the variant. An empty name returns the spec unchanged:
+// the architecture's default scheme.
+func WithStrategy(spec network.Spec, strategy string) network.Spec {
+	if strategy == "" {
+		return spec
+	}
+	spec.Strategy = strategy
+	spec.Name += "+" + strategy
+	return spec
+}
+
 // SpecByName looks a configuration up by its reporting name.
 func SpecByName(n int, name string) (network.Spec, error) {
 	for _, s := range AllSpecs(n) {

@@ -66,9 +66,9 @@ type Job struct {
 // but differing in, say, the hotspot destination hash differently).
 func JobKey(spec network.Spec, cfg RunConfig) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "spec|%s|%d|%d|%d|%v|%d|%d|%v|%d|%d|%+v",
+	fmt.Fprintf(h, "spec|%s|%d|%d|%d|%v|%d|%d|%v|%s|%d|%d|%+v",
 		spec.Name, spec.N, spec.PacketLen, spec.Scheme, spec.SpecLevels,
-		spec.SpecKind, spec.NonSpecKind, spec.Serial, spec.Protocol, spec.SyncPeriod,
+		spec.SpecKind, spec.NonSpecKind, spec.Serial, spec.Strategy, spec.Protocol, spec.SyncPeriod,
 		spec.Faults)
 	fmt.Fprintf(h, "|cfg|%#v|%s|%d|%d|%d|%d|%d",
 		cfg.Bench, strconv.FormatFloat(cfg.LoadGFs, 'x', -1, 64),

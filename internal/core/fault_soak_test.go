@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"asyncnoc/internal/fault"
+	"asyncnoc/internal/routing"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/traffic"
 )
@@ -36,5 +37,44 @@ func TestFaultSoak(t *testing.T) {
 				t.Errorf("completion %.4f, want 1.0", res.Completion)
 			}
 		})
+	}
+}
+
+// TestFaultSoakStrategies is the per-scheme deadlock-freedom soak: every
+// routing strategy, on the hybrid and zero-speculation optimized
+// fabrics, must fully recover a multicast workload under corrupt+drop
+// fault injection. Windows are shorter than TestFaultSoak's since this
+// multiplies 5 schemes by 2 fabrics; skipped with -short, run under
+// -race via `make soak`.
+func TestFaultSoakStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault soak skipped with -short")
+	}
+	for _, base := range []string{NameOptHybridSpec, NameOptNonSpec} {
+		for _, strat := range routing.StrategyNames() {
+			spec, err := SpecByName(8, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec = WithStrategy(spec, strat)
+			spec.Faults = fault.Config{Seed: 2016, CorruptRate: 1e-4, DropRate: 1e-4}
+			t.Run(spec.Name, func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(spec, RunConfig{
+					Bench: traffic.Multicast{N: 8, Frac: 0.10}, LoadGFs: 0.25, Seed: 1,
+					Warmup: 40 * sim.Nanosecond, Measure: 320 * sim.Nanosecond,
+					Drain: 1500 * sim.Nanosecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.LostFlits != 0 || res.LostPackets != 0 {
+					t.Errorf("lost %d flits / %d packets at 1e-4", res.LostFlits, res.LostPackets)
+				}
+				if res.Completion != 1.0 {
+					t.Errorf("completion %.4f, want 1.0", res.Completion)
+				}
+			})
+		}
 	}
 }

@@ -280,21 +280,74 @@ func NodeLevel() (*Table, error) {
 	return t, nil
 }
 
+// shootoutStrategies are the non-default schemes the strategy rows and
+// the Fig. 7 shootout compare against each architecture's default.
+var shootoutStrategies = []string{routing.PathBasedName, routing.DPMName}
+
+// withStrategies appends the named strategy variants of base to specs.
+func withStrategies(specs []network.Spec, base network.Spec, names ...string) []network.Spec {
+	for _, name := range names {
+		specs = append(specs, core.WithStrategy(base, name))
+	}
+	return specs
+}
+
+// StrategyVariants returns the related-work strategy variants that extend
+// the paper's tables: path-based and DPM on the headline hybrid network
+// and on the zero-speculation design point.
+func StrategyVariants(n int) []network.Spec {
+	var specs []network.Spec
+	specs = withStrategies(specs, core.OptHybridSpeculative(n), shootoutStrategies...)
+	specs = withStrategies(specs, core.OptNonSpeculative(n), shootoutStrategies...)
+	return specs
+}
+
 // Fig6a regenerates the contribution-trajectory latency figure: average
 // network latency at 25% saturation for the four networks of the first
-// case study across all six benchmarks.
+// case study across all six benchmarks, extended with the related-work
+// strategies on the headline hybrid network.
 func (s *Suite) Fig6a() (*Table, error) {
+	specs := withStrategies(core.ContributionTrajectory(s.N),
+		core.OptHybridSpeculative(s.N), shootoutStrategies...)
 	return s.latencyTable(
 		"Fig. 6(a): average network latency (ns) at 25% saturation — contribution trajectory",
-		core.ContributionTrajectory(s.N))
+		specs)
 }
 
 // Fig6b regenerates the design-space latency figure for the three
-// optimized networks.
+// optimized networks, extended with the related-work strategies on the
+// zero-speculation design point.
 func (s *Suite) Fig6b() (*Table, error) {
+	specs := withStrategies(core.DesignSpace(s.N),
+		core.OptNonSpeculative(s.N), shootoutStrategies...)
 	return s.latencyTable(
 		"Fig. 6(b): average network latency (ns) at 25% saturation — design space exploration",
-		core.DesignSpace(s.N))
+		specs)
+}
+
+// Fig7Shootout is the multicast-scheme shootout (beyond the paper):
+// average latency at 25% of own saturation for every routing strategy on
+// the headline hybrid network and the zero-speculation design point. The
+// default rows coincide with Fig. 6 measurement points (engine memo
+// hits); the serial-unicast rows show what each fabric loses without any
+// multicast support.
+func (s *Suite) Fig7Shootout() (*Table, error) {
+	var specs []network.Spec
+	for _, base := range []network.Spec{core.OptHybridSpeculative(s.N), core.OptNonSpeculative(s.N)} {
+		specs = append(specs, base)
+		specs = withStrategies(specs, base,
+			routing.SerialUnicastName, routing.PathBasedName, routing.DPMName)
+	}
+	t, err := s.latencyTable(
+		"Fig. 7: multicast-scheme shootout — average latency (ns) at 25% saturation",
+		specs)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"rows without a +strategy suffix use the architecture's default (simplified speculative multicast)",
+		"TreeMulticast plans identically to the default on these fabrics and is omitted; DPM merges to it when speculative broadcast waste makes splitting costlier")
+	return t, nil
 }
 
 func (s *Suite) latencyTable(title string, specs []network.Spec) (*Table, error) {
@@ -328,7 +381,7 @@ func (s *Suite) latencyTable(title string, specs []network.Spec) (*Table, error)
 // Table1Throughput regenerates the saturation-throughput half of Table 1
 // for all six networks and benchmarks.
 func (s *Suite) Table1Throughput() (*Table, error) {
-	specs := core.AllSpecs(s.N)
+	specs := append(core.AllSpecs(s.N), StrategyVariants(s.N)...)
 	benches := traffic.StandardSuite(s.N)
 	if err := s.Prefetch(specs, benches); err != nil {
 		return nil, err
@@ -368,7 +421,7 @@ func PowerBenches(n int) []traffic.Benchmark {
 // Table1Power regenerates the total-network-power half of Table 1: all
 // six networks at 25% of the Baseline's saturation per benchmark.
 func (s *Suite) Table1Power() (*Table, error) {
-	specs := core.AllSpecs(s.N)
+	specs := append(core.AllSpecs(s.N), StrategyVariants(s.N)...)
 	benches := PowerBenches(s.N)
 	if err := s.Prefetch([]network.Spec{core.Baseline(s.N)}, benches); err != nil {
 		return nil, err
@@ -450,10 +503,11 @@ func (s *Suite) UtilizationTable() (*Table, error) {
 func Addressing() (*Table, error) {
 	t := &Table{
 		Title:   "Addressing scheme comparison (Section 5.2(d)): header address bits",
-		Columns: []string{"MoT", "Baseline", "NonSpeculative", "Hybrid", "AllSpeculative", "BitVector[5]"},
+		Columns: []string{"MoT", "Baseline", "NonSpeculative", "Hybrid", "AllSpeculative", "BitVector[5]", "PathBased", "DPM"},
 		Notes: []string{
 			"2 bits per addressable (non-speculative) fanout node; speculative nodes need no field",
 			"BitVector is the related-work destination-bitmask scheme of Krishna et al. [5]",
+			"PathBased/DPM carry destination lists: ceil(n/2) resp. n entries of log2(n) bits (worst-case partition)",
 		},
 	}
 	for _, n := range []int{8, 16} {
@@ -468,6 +522,8 @@ func Addressing() (*Table, error) {
 			fmt.Sprintf("%d", sz.Hybrid),
 			fmt.Sprintf("%d", sz.AllSpeculative),
 			fmt.Sprintf("%d", sz.BitVector),
+			fmt.Sprintf("%d", sz.PathBased),
+			fmt.Sprintf("%d", sz.DPM),
 		})
 	}
 	return t, nil

@@ -60,8 +60,8 @@ func TestAddressingTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := [][]string{
-		{"8x8", "3", "14", "12", "8"},
-		{"16x16", "4", "30", "20", "16"},
+		{"8x8", "3", "14", "12", "8", "8", "12", "24"},
+		{"16x16", "4", "30", "20", "16", "16", "32", "64"},
 	}
 	if len(tbl.Rows) != len(want) {
 		t.Fatalf("rows = %d", len(tbl.Rows))
@@ -113,7 +113,9 @@ func TestFig6bTinyEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 3 || len(tbl.Rows[0]) != 7 {
+	// DesignSpace's three networks plus the OptNonSpeculative
+	// PathBased/DPM strategy variants.
+	if len(tbl.Rows) != 5 || len(tbl.Rows[0]) != 7 {
 		t.Fatalf("fig6b shape %dx%d", len(tbl.Rows), len(tbl.Rows[0]))
 	}
 	for _, row := range tbl.Rows {
@@ -134,7 +136,8 @@ func TestTable1PowerTinyEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 6 || len(tbl.Rows[0]) != 5 {
+	// All six architectures plus the four strategy variants.
+	if len(tbl.Rows) != 10 || len(tbl.Rows[0]) != 5 {
 		t.Fatalf("power table shape %dx%d", len(tbl.Rows), len(tbl.Rows[0]))
 	}
 }

@@ -21,11 +21,13 @@ package mesh
 
 import (
 	"fmt"
+	"sort"
 
 	"asyncnoc/internal/metrics"
 	"asyncnoc/internal/node"
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/power"
+	"asyncnoc/internal/routing"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/timing"
 )
@@ -51,6 +53,12 @@ type Spec struct {
 	// Serial expands multicast into serial XY unicasts (the baseline
 	// scheme); otherwise multicast is tree-based with replication.
 	Serial bool
+	// Strategy names the multicast routing scheme that partitions
+	// injections (see routing.StrategyNames). Empty keeps the spec's
+	// default: serial unicasts when Serial, one tree-routed packet
+	// otherwise. The mesh Hamiltonian order is the boustrophedon (snake)
+	// tile order, and DPM merge costs count XY-tree link traversals.
+	Strategy string
 }
 
 // Validate checks the configuration.
@@ -60,6 +68,11 @@ func (s Spec) Validate() error {
 	}
 	if s.PacketLen < 1 {
 		return fmt.Errorf("mesh %s: packet length %d < 1", s.Name, s.PacketLen)
+	}
+	if s.Strategy != "" {
+		if _, err := routing.StrategyByName(s.Strategy); err != nil {
+			return fmt.Errorf("mesh %s: %w", s.Name, err)
+		}
 	}
 	return nil
 }
@@ -197,8 +210,136 @@ func (m *Mesh) build() {
 	}
 }
 
+// snakePos returns a tile's position on the mesh's Hamiltonian path: the
+// boustrophedon (snake) order that walks each row alternately left-to-
+// right and right-to-left, so consecutive positions are mesh neighbors.
+func (m *Mesh) snakePos(d int) int {
+	x, y := m.Coord(d)
+	if y%2 == 1 {
+		x = m.Spec.W - 1 - x
+	}
+	return y*m.Spec.W + x
+}
+
+// meshChain is one ordered delivery group of a planned injection.
+type meshChain struct {
+	dests packet.DestSet
+	desc  bool // serial expansion walks the snake order backwards
+}
+
+// chains partitions one injection under the spec's strategy, in
+// delivery order.
+func (m *Mesh) chains(src int, dests packet.DestSet) []meshChain {
+	name := m.Spec.Strategy
+	if name == "" {
+		if m.Spec.Serial {
+			name = routing.SerialUnicastName
+		} else {
+			name = routing.TreeMulticastName
+		}
+	}
+	switch name {
+	case routing.SerialUnicastName:
+		out := make([]meshChain, 0, dests.Count())
+		dests.ForEach(func(d int) { out = append(out, meshChain{dests: packet.Dest(d)}) })
+		return out
+	case routing.PathBasedName:
+		up, down := routing.PathSplit(m.snakePos, m.snakePos(src), dests)
+		var out []meshChain
+		if !up.Empty() {
+			out = append(out, meshChain{dests: up})
+		}
+		if !down.Empty() {
+			out = append(out, meshChain{dests: down, desc: true})
+		}
+		return out
+	case routing.DPMName:
+		parts := make([]packet.DestSet, 0, dests.Count())
+		dests.ForEach(func(d int) { parts = append(parts, packet.Dest(d)) })
+		sort.Slice(parts, func(i, j int) bool {
+			return m.snakePos(parts[i].First()) < m.snakePos(parts[j].First())
+		})
+		parts = routing.MergeAdjacent(parts, func(s packet.DestSet) int { return m.xyLinks(src, s) })
+		out := make([]meshChain, len(parts))
+		for i, part := range parts {
+			out[i] = meshChain{dests: part}
+		}
+		return out
+	default:
+		// TreeMulticast and SpeculativeMulticast: the mesh has no
+		// speculation, both are the single destination-encoded packet.
+		return []meshChain{{dests: dests}}
+	}
+}
+
+// xyLinks counts the link traversals (router-to-router plus delivery
+// locals) of delivering dests from src: the XY multicast tree's links on
+// the tree fabric, the sum of the unicast XY paths — which share nothing
+// physically — in serial mode. The source's injection link is common to
+// every plan and excluded, so a merge that shares no links is never an
+// improvement.
+func (m *Mesh) xyLinks(src int, dests packet.DestSet) int {
+	sx, sy := m.Coord(src)
+	if m.Spec.Serial {
+		total := 0
+		dests.ForEach(func(d int) {
+			dx, dy := m.Coord(d)
+			total += absInt(dx-sx) + absInt(dy-sy) + 1
+		})
+		return total
+	}
+	var count func(x, y int, d packet.DestSet) int
+	count = func(x, y int, d packet.DestSet) int {
+		mask, sub := m.routeOuts(x, y, d)
+		c := 0
+		for p := 0; p < numPorts; p++ {
+			if mask&(1<<uint(p)) == 0 {
+				continue
+			}
+			c++
+			switch p {
+			case East:
+				c += count(x+1, y, sub[East])
+			case West:
+				c += count(x-1, y, sub[West])
+			case North:
+				c += count(x, y+1, sub[North])
+			case South:
+				c += count(x, y-1, sub[South])
+			}
+		}
+		return c
+	}
+	return count(sx, sy, dests)
+}
+
+// absInt is |v|.
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// snakeOrdered returns the set's members ordered by snake position,
+// reversed when desc is set (injection planning; cold path).
+func (m *Mesh) snakeOrdered(s packet.DestSet, desc bool) []int {
+	ds := s.Members()
+	sort.Slice(ds, func(i, j int) bool {
+		if desc {
+			return m.snakePos(ds[i]) > m.snakePos(ds[j])
+		}
+		return m.snakePos(ds[i]) < m.snakePos(ds[j])
+	})
+	return ds
+}
+
 // Inject creates a logical packet from tile src to dests at the current
-// simulation time.
+// simulation time, partitioned under the spec's routing strategy: a
+// single-partition plan covering the whole set rides the logical packet
+// itself (except serial multicasts, which always expand into per-
+// destination unicast clones), every other plan injects one clone per
+// physical packet linked to the logical parent.
 func (m *Mesh) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
 	if src < 0 || src >= m.Spec.Tiles() {
 		return nil, fmt.Errorf("mesh %s: source %d out of range", m.Spec.Name, src)
@@ -216,18 +357,27 @@ func (m *Mesh) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
 		Length: m.Spec.PacketLen, CreatedAt: int64(now),
 	}
 	m.Rec.PacketCreated(p, now)
-	if m.Spec.Serial && dests.Count() > 1 {
-		dests.ForEach(func(d int) {
-			m.nextID++
-			clone := &packet.Packet{
-				ID: m.nextID, Src: src, Dests: packet.Dest(d),
-				Length: m.Spec.PacketLen, Parent: p, CreatedAt: int64(now),
-			}
-			m.sources[src].enqueue(clone)
-		})
+	chains := m.chains(src, dests)
+	if len(chains) == 1 && chains[0].dests == dests && !(m.Spec.Serial && dests.Count() > 1) {
+		m.sources[src].enqueue(p)
 		return p, nil
 	}
-	m.sources[src].enqueue(p)
+	clone := func(sub packet.DestSet) {
+		m.nextID++
+		m.sources[src].enqueue(&packet.Packet{
+			ID: m.nextID, Src: src, Dests: sub,
+			Length: m.Spec.PacketLen, Parent: p, CreatedAt: int64(now),
+		})
+	}
+	for _, c := range chains {
+		if !m.Spec.Serial {
+			clone(c.dests)
+			continue
+		}
+		for _, d := range m.snakeOrdered(c.dests, c.desc) {
+			clone(packet.Dest(d))
+		}
+	}
 	return p, nil
 }
 

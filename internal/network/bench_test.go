@@ -36,3 +36,36 @@ func BenchmarkNITransaction(b *testing.B) {
 		nw.Sched.Run()
 	}
 }
+
+// benchStrategy pins a routing scheme's full multicast hot path — plan,
+// clone expansion, fabric traversal, delivery, recycle — and, like the
+// NI transaction above, must stay allocation-free at steady state (gated
+// by bench/baseline.json).
+func benchStrategy(b *testing.B, strat string) {
+	spec := optHybrid(8)
+	spec.Strategy = strat
+	nw, err := New(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Rec.SetWindow(0, 0)
+	dests := packet.Dests(0, 2, 5, 7)
+	for s := 0; s < 8; s++ {
+		if _, err := nw.Inject(s, dests); err != nil {
+			b.Fatal(err)
+		}
+		nw.Sched.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Inject(i%8, dests); err != nil {
+			b.Fatal(err)
+		}
+		nw.Sched.Run()
+	}
+}
+
+func BenchmarkStrategyPathBased(b *testing.B) { benchStrategy(b, "PathBased") }
+
+func BenchmarkStrategyDPM(b *testing.B) { benchStrategy(b, "DPM") }

@@ -7,6 +7,7 @@ import (
 	"asyncnoc/internal/node"
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/rng"
+	"asyncnoc/internal/routing"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/topology"
 )
@@ -80,6 +81,59 @@ func (l *energyLedger) totalPJ(nw *Network) float64 {
 	return l.nodePJ +
 		float64(l.channelFlights)*model.ChannelPJ +
 		float64(l.sourceSends+l.sinkArrives)*model.InterfacePJ
+}
+
+// TestEnergyConservationStrategies re-runs the conservation ledger with
+// every registered routing strategy on a speculative and a
+// zero-speculation fabric: however a scheme partitions a multicast into
+// packets, every forward, absorb, wire flight, and interface operation
+// must still be charged exactly once.
+func TestEnergyConservationStrategies(t *testing.T) {
+	for _, base := range []Spec{optHybrid(8), optNonSpec(8)} {
+		for _, strat := range routing.StrategyNames() {
+			spec := base
+			spec.Strategy = strat
+			spec.Name = base.Name + "+" + strat
+			t.Run(spec.Name, func(t *testing.T) {
+				nw, err := New(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nw.Rec.SetWindow(0, 1<<62)
+				nw.Meter.SetWindow(0, 1<<62)
+				var ledger energyLedger
+				ledger.attach(nw)
+
+				r := rng.New(20160609)
+				for i := 0; i < 30; i++ {
+					src := r.Intn(8)
+					var dests packet.DestSet
+					for dests.Empty() {
+						for d := 0; d < 8; d++ {
+							if r.Bool(0.3) {
+								dests = dests.Add(d)
+							}
+						}
+					}
+					at := sim.Time(i) * 400 * sim.Picosecond
+					nw.Sched.Schedule(at, func() {
+						if _, err := nw.Inject(src, dests); err != nil {
+							t.Error(err)
+						}
+					})
+				}
+				nw.Sched.Run()
+
+				got, want := nw.Meter.EnergyPJ(), ledger.totalPJ(nw)
+				if diff := math.Abs(got - want); diff > 1e-9*(1+want) {
+					t.Errorf("meter %.9f pJ != ledger %.9f pJ", got, want)
+				}
+				if want == 0 {
+					t.Fatal("ledger accumulated no energy; hooks not attached?")
+				}
+			})
+		}
+	}
 }
 
 // TestEnergyConservationRandomMulticast: for random multicast workloads

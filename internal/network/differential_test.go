@@ -1,0 +1,87 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asyncnoc/internal/node"
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/rng"
+	"asyncnoc/internal/routing"
+	"asyncnoc/internal/topology"
+)
+
+func optNonSpec(n int) Spec {
+	return Spec{Name: "OptNonSpeculative", N: n, PacketLen: 5,
+		Scheme: topology.NonSpeculative, SpecKind: node.OptSpec, NonSpecKind: node.OptNonSpec}
+}
+
+// sixArchs is the full architecture roster of the paper's evaluation:
+// the five of allSpecs plus the zero-speculation optimized design point.
+func sixArchs(n int) []Spec {
+	return append(allSpecs(n), optNonSpec(n))
+}
+
+// TestDifferentialDelivery is the scheme-shootout property test: every
+// registered routing strategy, on every one of the six architectures,
+// delivers a random multicast to exactly its destination set. The
+// metrics recorder panics on a duplicate delivery or a delivery to a
+// non-destination, and completion requires every destination reached, so
+// MeasuredCompleted == injected is a full exact-delivery oracle. The
+// differential part is implicit: all strategies face identical (seeded)
+// workloads, so a scheme that misses, duplicates, or misroutes where
+// another delivers fails its subtest by name.
+func TestDifferentialDelivery(t *testing.T) {
+	for _, base := range sixArchs(8) {
+		for _, strat := range routing.StrategyNames() {
+			spec := base
+			spec.Strategy = strat
+			t.Run(base.Name+"/"+strat, func(t *testing.T) {
+				t.Parallel()
+				prop := func(seed uint64) bool {
+					r := rng.New(seed)
+					nw, err := New(spec)
+					if err != nil {
+						t.Fatalf("New: %v", err)
+					}
+					nw.Rec.SetWindow(0, 1<<62)
+					injected := 0
+					for i := 0; i < 4; i++ {
+						src := r.Intn(spec.N)
+						dests := randomDestSet(r, spec.N)
+						if _, err := nw.Inject(src, dests); err != nil {
+							t.Fatalf("Inject(%d, %v): %v", src, dests, err)
+						}
+						injected++
+					}
+					nw.Sched.Run()
+					if got := nw.Rec.MeasuredCompleted(); got != injected {
+						t.Logf("seed %d: %d/%d multicasts delivered", seed, got, injected)
+						return false
+					}
+					return true
+				}
+				cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(20160606))}
+				if err := quick.Check(prop, cfg); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// randomDestSet draws a non-empty random destination set over [0, n).
+func randomDestSet(r *rng.Source, n int) packet.DestSet {
+	for {
+		var s packet.DestSet
+		for d := 0; d < n; d++ {
+			if r.Bool(0.4) {
+				s = s.Add(d)
+			}
+		}
+		if !s.Empty() {
+			return s
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/rng"
+	"asyncnoc/internal/routing"
 	"asyncnoc/internal/sim"
 )
 
@@ -98,6 +99,43 @@ func TestMisrouteStormAllSpeculative(t *testing.T) {
 			})
 		}
 	})
+}
+
+// TestFloodStrategies runs the misroute adversary under every routing
+// strategy on the speculative architectures: whatever partition a scheme
+// plans, each clone's redundant copies must still die at the first
+// addressable node off the clone's own destination subset, and the
+// network must drain completely.
+func TestFloodStrategies(t *testing.T) {
+	for _, base := range []Spec{optHybrid(8), optAllSpec(8)} {
+		for _, strat := range routing.StrategyNames() {
+			spec := base
+			spec.Strategy = strat
+			spec.Name = base.Name + "+" + strat
+			t.Run(spec.Name, func(t *testing.T) {
+				floodAssertions(t, spec, func(nw *Network) {
+					r := rng.New(13)
+					for i := 0; i < 40; i++ {
+						at := sim.Time(i) * 300 * sim.Picosecond
+						src := r.Intn(8)
+						var dests packet.DestSet
+						for dests.Empty() {
+							for d := 0; d < 8; d++ {
+								if r.Bool(0.4) {
+									dests = dests.Add(d)
+								}
+							}
+						}
+						nw.Sched.Schedule(at, func() {
+							if _, err := nw.Inject(src, dests); err != nil {
+								t.Error(err)
+							}
+						})
+					}
+				})
+			})
+		}
+	}
 }
 
 // TestFloodHybrids extends the flood to the hybrid architectures, where

@@ -46,6 +46,11 @@ type Spec struct {
 	// Serial marks the baseline network: unicast-only nodes, 1-bit
 	// source routing, multicast expanded into serial unicasts.
 	Serial bool
+	// Strategy names the multicast routing scheme that plans injections
+	// (see routing.StrategyNames). Empty selects the architecture's
+	// default: SerialUnicast on the serial baseline, SpeculativeMulticast
+	// elsewhere — both bit-identical to the pre-strategy behavior.
+	Strategy string
 	// Protocol selects the channel handshake (two-phase by default;
 	// four-phase models the RZ alternative the paper argues against).
 	Protocol timing.Protocol
@@ -71,6 +76,11 @@ func (s Spec) Validate() error {
 	}
 	if !s.Serial && s.NonSpecKind == node.Baseline {
 		return fmt.Errorf("network %s: baseline fanout nodes cannot route multicast", s.Name)
+	}
+	if s.Strategy != "" {
+		if _, err := routing.StrategyByName(s.Strategy); err != nil {
+			return fmt.Errorf("network %s: %w", s.Name, err)
+		}
 	}
 	if err := s.Faults.Validate(s.N); err != nil {
 		return fmt.Errorf("network %s: %w", s.Name, err)
@@ -156,6 +166,14 @@ type Network struct {
 	// sample flit occupancy (fault mode only).
 	chans []*node.Channel
 
+	// strat plans every injection and decodes every header against
+	// fabric; emitPlan and planBuf are the reusable plan-collection
+	// plumbing so a steady-state injection allocates nothing.
+	strat    routing.Strategy
+	fabric   routing.Fabric
+	emitPlan func(routing.Plan)
+	planBuf  []routing.Plan
+
 	nextID uint64
 
 	// pooling enables the per-run packet freelist. It is on for every
@@ -213,6 +231,13 @@ func New(spec Spec) (*Network, error) {
 		Meter:     power.NewMeter(sched.Now),
 	}
 	nw.Rec.SetLevels(m.Levels)
+	nw.fabric = routing.Fabric{Placement: pl, Serial: spec.Serial}
+	nw.strat = routing.DefaultStrategy(spec.Serial)
+	if spec.Strategy != "" {
+		// Validate() vetted the name.
+		nw.strat, _ = routing.StrategyByName(spec.Strategy)
+	}
+	nw.emitPlan = func(p routing.Plan) { nw.planBuf = append(nw.planBuf, p) }
 	nw.pooling = !spec.Faults.Enabled()
 	if spec.Faults.Enabled() {
 		// The injector must exist before build(): every channel draws its
@@ -266,6 +291,12 @@ func (nw *Network) releaseCopy(p *packet.Packet) {
 			nw.pktFree = append(nw.pktFree, parent)
 		}
 	}
+}
+
+// decodeSym is the fanout nodes' route decode, delegated to the
+// network's routing strategy.
+func (nw *Network) decodeSym(heap int, route uint64) routing.Symbol {
+	return nw.strat.Decode(nw.fabric, heap, route)
 }
 
 // kindFor returns the node behavior for heap position k.
@@ -345,6 +376,7 @@ func (nw *Network) build() {
 		nw.fanins[t] = make([]*node.Fanin, n)
 		for k := 1; k < n; k++ {
 			fo := node.NewFanout(nw.Sched, nw.kindFor(k), t, k, nw.Placement, fifoCap, nw.Spec.Protocol)
+			fo.SetDecoder(nw.decodeSym)
 			if nw.Spec.SyncPeriod > 0 {
 				fo.Clock(nw.Spec.SyncPeriod)
 			}
@@ -424,10 +456,15 @@ func (nw *Network) build() {
 }
 
 // Inject creates a logical packet from src to dests at the current
-// simulation time and queues it (expanded if the network is serial).
-// On a fault-free network the returned packet is pool-owned: it recycles
-// as soon as its last flit copy is delivered or absorbed, so callers must
-// not read it after advancing the scheduler.
+// simulation time, plans it under the network's routing strategy, and
+// queues the resulting physical packets back-to-back through the source
+// interface. A single-packet plan covering the whole set rides the
+// logical packet itself; any expansion (the serial baseline always, and
+// every partitioning strategy) injects one clone per plan, each linked
+// to the logical parent for delivery accounting. On a fault-free network
+// the returned packet is pool-owned: it recycles as soon as its last
+// flit copy is delivered or absorbed, so callers must not read it after
+// advancing the scheduler.
 func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
 	if src < 0 || src >= nw.Spec.N {
 		return nil, fmt.Errorf("network %s: source %d out of range", nw.Spec.Name, src)
@@ -447,46 +484,33 @@ func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error)
 	if nw.Trace != nil {
 		nw.Trace(TraceEvent{Kind: TraceInject, At: now, Flit: packet.Flit{Pkt: p}})
 	}
-	if nw.Spec.Serial {
-		// Serial multicast: one unicast clone per destination,
-		// injected back-to-back through the same interface. The logical
-		// parent's refcount holds one reference per clone; it recycles
-		// when its last clone does.
-		if nw.pooling {
-			p.Refs = int32(dests.Count())
-		}
-		var encErr error
-		dests.ForEach(func(d int) {
-			if encErr != nil {
-				return
-			}
-			route, err := routing.EncodeBaseline(nw.MoT, d)
-			if err != nil {
-				encErr = err
-				return
-			}
-			nw.nextID++
-			clone := nw.allocPacket()
-			clone.ID = nw.nextID
-			clone.Src = src
-			clone.Dests = packet.Dest(d)
-			clone.Length = nw.Spec.PacketLen
-			clone.Route = route
-			clone.Parent = p
-			clone.CreatedAt = int64(now)
-			nw.sources[src].enqueue(clone)
-		})
-		if encErr != nil {
-			return nil, encErr
-		}
-		return p, nil
-	}
-	route, err := routing.EncodeMulticast(nw.Placement, dests)
-	if err != nil {
+	nw.planBuf = nw.planBuf[:0]
+	if err := nw.strat.Plan(nw.fabric, src, dests, nw.emitPlan); err != nil {
 		return nil, err
 	}
-	p.Route = route
-	nw.sources[src].enqueue(p)
+	plans := nw.planBuf
+	if !nw.Spec.Serial && len(plans) == 1 && plans[0].Dests == dests {
+		p.Route = plans[0].Route
+		nw.sources[src].enqueue(p)
+		return p, nil
+	}
+	// Expanded plan: the logical parent's refcount holds one reference
+	// per clone; it recycles when its last clone does.
+	if nw.pooling {
+		p.Refs = int32(len(plans))
+	}
+	for i := range plans {
+		nw.nextID++
+		clone := nw.allocPacket()
+		clone.ID = nw.nextID
+		clone.Src = src
+		clone.Dests = plans[i].Dests
+		clone.Length = nw.Spec.PacketLen
+		clone.Route = plans[i].Route
+		clone.Parent = p
+		clone.CreatedAt = int64(now)
+		nw.sources[src].enqueue(clone)
+	}
 	return p, nil
 }
 

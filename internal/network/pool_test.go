@@ -7,6 +7,7 @@ import (
 
 	"asyncnoc/internal/fault"
 	"asyncnoc/internal/packet"
+	"asyncnoc/internal/routing"
 	"asyncnoc/internal/sim"
 )
 
@@ -66,6 +67,31 @@ func TestPoolingTraceEquivalence(t *testing.T) {
 			if pooledLog[i] != plainLog[i] {
 				t.Fatalf("%s: trace diverges at event %d:\npooled:   %s\nunpooled: %s",
 					spec.Name, i, pooledLog[i], plainLog[i])
+			}
+		}
+	}
+}
+
+// TestPoolingTraceEquivalenceStrategies extends the pooled-vs-unpooled
+// trace equivalence over every routing strategy: the multi-plan clone
+// expansions (path-based dual packets, DPM partitions, cross-fabric
+// serial unicasts) must recycle packets without observable effect.
+func TestPoolingTraceEquivalenceStrategies(t *testing.T) {
+	for _, base := range []Spec{baselineSpec(8), optHybrid(8)} {
+		for _, strat := range routing.StrategyNames() {
+			spec := base
+			spec.Strategy = strat
+			spec.Name = base.Name + "+" + strat
+			_, pooledLog := runPoolWorkload(t, spec, true)
+			_, plainLog := runPoolWorkload(t, spec, false)
+			if len(pooledLog) != len(plainLog) {
+				t.Fatalf("%s: pooled trace has %d events, unpooled %d", spec.Name, len(pooledLog), len(plainLog))
+			}
+			for i := range pooledLog {
+				if pooledLog[i] != plainLog[i] {
+					t.Fatalf("%s: trace diverges at event %d:\npooled:   %s\nunpooled: %s",
+						spec.Name, i, pooledLog[i], plainLog[i])
+				}
 			}
 		}
 	}

@@ -1,0 +1,46 @@
+package packet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDests builds a destination set from a list of decimal terminal
+// indices, validated against an n-terminal network: every entry must be
+// a well-formed integer in [0, n), listed at most once, and the set must
+// not be empty. It is the one parsing/validation path shared by the
+// CLIs (motsim -dests, replay schedules).
+func ParseDests(fields []string, n int) (DestSet, error) {
+	if n < 1 || n > 64 {
+		return 0, fmt.Errorf("packet: terminal count %d outside [1,64]", n)
+	}
+	var set DestSet
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return 0, fmt.Errorf("packet: empty destination entry")
+		}
+		d, err := strconv.Atoi(f)
+		if err != nil {
+			return 0, fmt.Errorf("packet: bad destination %q: %w", f, err)
+		}
+		if d < 0 || d >= n {
+			return 0, fmt.Errorf("packet: destination %d outside [0,%d)", d, n)
+		}
+		if set.Has(d) {
+			return 0, fmt.Errorf("packet: duplicate destination %d", d)
+		}
+		set = set.Add(d)
+	}
+	if set.Empty() {
+		return 0, fmt.Errorf("packet: empty destination set")
+	}
+	return set, nil
+}
+
+// ParseDestSet parses a comma-separated destination list ("0,3,5") with
+// ParseDests semantics.
+func ParseDestSet(s string, n int) (DestSet, error) {
+	return ParseDests(strings.Split(s, ","), n)
+}

@@ -1,0 +1,70 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDestSetValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want DestSet
+	}{
+		{"0", 8, Dests(0)},
+		{"7", 8, Dests(7)},
+		{"0,3,5", 8, Dests(0, 3, 5)},
+		{" 1 , 2 ", 4, Dests(1, 2)},
+		{"63", 64, Dests(63)},
+		{"5,3,0", 8, Dests(0, 3, 5)}, // order is irrelevant
+	}
+	for _, c := range cases {
+		got, err := ParseDestSet(c.in, c.n)
+		if err != nil {
+			t.Errorf("ParseDestSet(%q, %d): unexpected error %v", c.in, c.n, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDestSet(%q, %d) = %v, want %v", c.in, c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseDestSetErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		n    int
+		want string // substring of the error
+	}{
+		{"out of range high", "8", 8, "outside [0,8)"},
+		{"out of range negative", "-1", 8, "outside [0,8)"},
+		{"empty string", "", 8, "empty destination entry"},
+		{"empty entry", "0,,2", 8, "empty destination entry"},
+		{"trailing comma", "0,1,", 8, "empty destination entry"},
+		{"not a number", "0,x", 8, "bad destination"},
+		{"float", "1.5", 8, "bad destination"},
+		{"duplicate", "3,0,3", 8, "duplicate destination 3"},
+		{"n too small", "0", 0, "outside [1,64]"},
+		{"n too large", "0", 65, "outside [1,64]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseDestSet(c.in, c.n)
+			if err == nil {
+				t.Fatalf("ParseDestSet(%q, %d): expected error, got nil", c.in, c.n)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("ParseDestSet(%q, %d) error = %q, want substring %q", c.in, c.n, err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseDestsEmptyFieldList(t *testing.T) {
+	// An empty slice has no entries at all; the set-level emptiness
+	// check must still reject it.
+	if _, err := ParseDests(nil, 8); err == nil {
+		t.Fatal("ParseDests(nil, 8): expected empty-set error, got nil")
+	}
+}

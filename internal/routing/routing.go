@@ -17,6 +17,12 @@
 // [2i, 2i+2). 64 bits comfortably hold the 30-bit worst case (16x16
 // non-speculative) and anything up to a 32x32 all-speculative layout; the
 // encoder rejects layouts that do not fit.
+//
+// strategy.go layers the pluggable Strategy interface over these encoders:
+// five registered multicast schemes (serial unicast, tree multicast,
+// simplified speculative multicast, path-based, and Dynamic Partition
+// Merging) that plan logical injections into physical packets while
+// sharing the per-node decode above.
 package routing
 
 import (
@@ -158,6 +164,12 @@ type AddressSizes struct {
 	// requires set-intersection logic at every node instead of a 2-bit
 	// field read.
 	BitVector int
+	// PathBased and DPM are the related-work schemes the strategy layer
+	// adds (arXiv:1610.00751, arXiv:2108.00566): destination-list
+	// headers, so their width is per-packet entries times log2(n) bits
+	// (see the strategies' HeaderBits).
+	PathBased int
+	DPM       int
 }
 
 // SizesFor computes the Section 5.2(d) table row for an n x n MoT.
@@ -181,5 +193,10 @@ func SizesFor(n int) (AddressSizes, error) {
 		}
 		*s.dst = p.AddressBits()
 	}
+	// The list-based related-work schemes depend only on the geometry;
+	// any non-serial fabric yields their width.
+	f := Fabric{Placement: topology.MustForScheme(m, topology.NonSpeculative)}
+	out.PathBased = pathBased.HeaderBits(f)
+	out.DPM = dpm.HeaderBits(f)
 	return out, nil
 }

@@ -1,0 +1,379 @@
+package routing
+
+import (
+	"fmt"
+	"math/bits"
+
+	"asyncnoc/internal/packet"
+	"asyncnoc/internal/topology"
+)
+
+// This file promotes the package's encode/decode functions into a
+// pluggable Strategy layer (ROADMAP item 3): a multicast scheme decides
+// how one logical destination set becomes physical packets (the plan),
+// how a fanout node decodes a packed route word, and what header width
+// the scheme costs. Five schemes are registered:
+//
+//   - SerialUnicast: one unicast packet per destination, in ascending
+//     order — the paper's serial baseline, now available on every fabric.
+//   - TreeMulticast: one tree-replicated packet for the whole set, with
+//     every fanout node addressed (the paper's parallel multicast).
+//   - SpeculativeMulticast: the same single-packet plan under the
+//     simplified source routing of Section 3 — speculative nodes carry
+//     no field, so the header shrinks with the placement (14 -> 12 -> 8
+//     bits across the 8x8 architectures). The default multicast scheme.
+//   - PathBased: dual-path multicast from the related work
+//     (arXiv:1610.00751): destinations split into an "up" partition
+//     (>= source, delivered in ascending Hamiltonian order) and a
+//     "down" partition (< source, descending), one packet each.
+//   - DPM: Dynamic Partition Merging (arXiv:2108.00566): start from
+//     per-destination partitions in Hamiltonian order and greedily merge
+//     adjacent partitions while the merged plan costs fewer link
+//     traversals than the parts separately.
+//
+// All schemes share one per-node decode: the fabric's nodes read 2-bit
+// route fields (or 1-bit path fields on the serial baseline) exactly as
+// before, so a strategy changes packet structure, never node hardware.
+
+// Fabric is the routing-relevant description of a network: its
+// speculation placement (which also carries the MoT geometry) and
+// whether it is the serial baseline whose nodes decode 1-bit unicast
+// path routes.
+type Fabric struct {
+	Placement *topology.Placement
+	Serial    bool
+}
+
+// MoT returns the fabric's tree geometry.
+func (f Fabric) MoT() *topology.MoT { return f.Placement.MoT() }
+
+// Plan is one physical packet of a strategy's expansion of a logical
+// multicast: the destination subset it covers and its packed route word.
+type Plan struct {
+	Dests packet.DestSet
+	Route uint64
+}
+
+// Strategy is a multicast routing scheme.
+type Strategy interface {
+	// Name is the scheme's registry and reporting name.
+	Name() string
+	// Plan expands one logical injection into physical packets, calling
+	// emit once per packet in injection order. Implementations validate
+	// src and dests against the fabric before emitting anything.
+	Plan(f Fabric, src int, dests packet.DestSet, emit func(Plan)) error
+	// Decode returns the forwarding directive fanout node heap applies
+	// to a route word produced by Plan.
+	Decode(f Fabric, heap int, route uint64) Symbol
+	// HeaderBits is the scheme's per-packet header address width on the
+	// fabric, extending the Section 5.2(d) cost comparison.
+	HeaderBits(f Fabric) int
+}
+
+// Scheme registry names.
+const (
+	SerialUnicastName        = "SerialUnicast"
+	TreeMulticastName        = "TreeMulticast"
+	SpeculativeMulticastName = "SpeculativeMulticast"
+	PathBasedName            = "PathBased"
+	DPMName                  = "DPM"
+)
+
+// DecodeSymbol is the shared per-node decode every registered strategy
+// uses: baseline nodes read their 1-bit path field, multicast fabrics
+// read the placement's 2-bit field (speculative nodes broadcast).
+func DecodeSymbol(f Fabric, heap int, route uint64) Symbol {
+	if f.Serial {
+		if BaselinePort(route, f.MoT().LevelOf(heap)) == topology.Top {
+			return SymTop
+		}
+		return SymBottom
+	}
+	return NodeSymbol(f.Placement, heap, route)
+}
+
+// forEachDesc visits the set's destinations in descending order (the
+// "down" chain of path-based delivery walks the Hamiltonian order
+// backwards).
+func forEachDesc(s packet.DestSet, fn func(d int)) {
+	for v := uint64(s); v != 0; {
+		d := bits.Len64(v) - 1
+		v &^= 1 << uint(d)
+		fn(d)
+	}
+}
+
+// emitChain expands one ordered delivery group into physical packets:
+// on the serial fabric every member becomes its own unicast packet in
+// chain order (descending when desc is set), elsewhere the whole group
+// rides one tree-encoded packet.
+func emitChain(f Fabric, dests packet.DestSet, desc bool, emit func(Plan)) error {
+	if dests.Empty() {
+		return nil
+	}
+	if !f.Serial {
+		route, err := EncodeMulticast(f.Placement, dests)
+		if err != nil {
+			return err
+		}
+		emit(Plan{Dests: dests, Route: route})
+		return nil
+	}
+	var encErr error
+	one := func(d int) {
+		if encErr != nil {
+			return
+		}
+		route, err := EncodeBaseline(f.MoT(), d)
+		if err != nil {
+			encErr = err
+			return
+		}
+		emit(Plan{Dests: packet.Dest(d), Route: route})
+	}
+	if desc {
+		forEachDesc(dests, one)
+	} else {
+		dests.ForEach(one)
+	}
+	return encErr
+}
+
+// validatePlan rejects the argument errors every scheme shares.
+func validatePlan(f Fabric, src int, dests packet.DestSet) error {
+	n := f.MoT().N
+	if src < 0 || src >= n {
+		return fmt.Errorf("routing: source %d outside [0,%d)", src, n)
+	}
+	if dests.Empty() {
+		return fmt.Errorf("routing: empty destination set")
+	}
+	if extra := dests &^ packet.Range(0, n); !extra.Empty() {
+		return fmt.Errorf("routing: destinations %v outside [0,%d)", extra, n)
+	}
+	return nil
+}
+
+// scheme implements Strategy over two closures; all registered schemes
+// share DecodeSymbol, so only planning and header cost vary.
+type scheme struct {
+	name string
+	plan func(f Fabric, src int, dests packet.DestSet, emit func(Plan)) error
+	bits func(f Fabric) int
+}
+
+// Name implements Strategy.
+func (s *scheme) Name() string { return s.name }
+
+// Plan implements Strategy.
+func (s *scheme) Plan(f Fabric, src int, dests packet.DestSet, emit func(Plan)) error {
+	if err := validatePlan(f, src, dests); err != nil {
+		return err
+	}
+	return s.plan(f, src, dests, emit)
+}
+
+// Decode implements Strategy.
+func (s *scheme) Decode(f Fabric, heap int, route uint64) Symbol {
+	return DecodeSymbol(f, heap, route)
+}
+
+// HeaderBits implements Strategy. The serial baseline always carries the
+// 1-bit-per-level unicast path regardless of scheme.
+func (s *scheme) HeaderBits(f Fabric) int {
+	if f.Serial {
+		return topology.BaselineAddressBits(f.MoT())
+	}
+	return s.bits(f)
+}
+
+// PathSplit partitions a destination set for dual-path delivery around
+// the source's Hamiltonian position: up holds the destinations at or
+// after the source on the path, down the rest. pos maps a destination to
+// its path position; srcPos is the source's. On the MoT the Hamiltonian
+// order is the destination index order itself (pos is identity); the 2D
+// mesh substrate passes its snake order.
+func PathSplit(pos func(d int) int, srcPos int, dests packet.DestSet) (up, down packet.DestSet) {
+	dests.ForEach(func(d int) {
+		if pos(d) >= srcPos {
+			up = up.Add(d)
+		} else {
+			down = down.Add(d)
+		}
+	})
+	return up, down
+}
+
+// MergeAdjacent is the Dynamic Partition Merging core: given partitions
+// in Hamiltonian order, repeatedly merge an adjacent pair whenever the
+// merged partition's plan is strictly cheaper than the two parts
+// separately, until no merge improves. Ties do not merge — a merge that
+// saves nothing only serializes deliveries behind one header. The input
+// slice is consumed.
+func MergeAdjacent(parts []packet.DestSet, cost func(packet.DestSet) int) []packet.DestSet {
+	for merged := true; merged; {
+		merged = false
+		for i := 0; i+1 < len(parts); i++ {
+			a, b := parts[i], parts[i+1]
+			if cost(a|b) < cost(a)+cost(b) {
+				parts[i] = a | b
+				parts = append(parts[:i+1], parts[i+2:]...)
+				merged = true
+				i--
+			}
+		}
+	}
+	return parts
+}
+
+// LinkCost counts the fanout-tree link traversals the destination set
+// costs on the fabric: the links of the decode walk from the tree root,
+// including the wasted broadcasts of speculative nodes (an off-path copy
+// still crosses the link that carries it to the addressable node that
+// throttles it). On the serial fabric the set expands into unicasts,
+// each walking the full Levels-deep path. The source-to-root injection
+// link is common to every plan and excluded, so a merge that shares no
+// tree links is never an improvement.
+func LinkCost(f Fabric, dests packet.DestSet) int {
+	m := f.MoT()
+	if f.Serial {
+		return dests.Count() * m.Levels
+	}
+	var walk func(k int) int
+	walk = func(k int) int {
+		sym := SymBoth
+		if !f.Placement.IsSpeculative(k) {
+			needTop := !dests.Intersect(m.SubtreeDests(m.Child(k, topology.Top))).Empty()
+			needBot := !dests.Intersect(m.SubtreeDests(m.Child(k, topology.Bottom))).Empty()
+			sym = SymbolFor(needTop, needBot)
+		}
+		cost := 0
+		for _, p := range []topology.Port{topology.Top, topology.Bottom} {
+			if !sym.Wants(p) {
+				continue
+			}
+			cost++
+			if c := m.Child(k, p); c < m.N {
+				cost += walk(c)
+			}
+		}
+		return cost
+	}
+	return walk(1)
+}
+
+// ceilDiv is ceil(a/b) for positive operands.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+var (
+	serialUnicast = &scheme{
+		name: SerialUnicastName,
+		plan: func(f Fabric, _ int, dests packet.DestSet, emit func(Plan)) error {
+			var err error
+			dests.ForEach(func(d int) {
+				if err == nil {
+					err = emitChain(f, packet.Dest(d), false, emit)
+				}
+			})
+			return err
+		},
+		// Nominally each unicast needs only its path bits, but a
+		// multicast fabric's nodes read the placement's 2-bit fields, so
+		// that is what every packet carries.
+		bits: func(f Fabric) int { return f.Placement.AddressBits() },
+	}
+
+	treeMulticast = &scheme{
+		name: TreeMulticastName,
+		plan: func(f Fabric, _ int, dests packet.DestSet, emit func(Plan)) error {
+			return emitChain(f, dests, false, emit)
+		},
+		// Parallel multicast addresses every fanout node: 2 bits per
+		// node (14 for the 8x8 MoT), the paper's pre-simplification cost.
+		bits: func(f Fabric) int { return 2 * f.MoT().NodesPerTree() },
+	}
+
+	speculativeMulticast = &scheme{
+		name: SpeculativeMulticastName,
+		plan: func(f Fabric, _ int, dests packet.DestSet, emit func(Plan)) error {
+			return emitChain(f, dests, false, emit)
+		},
+		// Simplified source routing: only addressable nodes carry fields.
+		bits: func(f Fabric) int { return f.Placement.AddressBits() },
+	}
+
+	pathBased = &scheme{
+		name: PathBasedName,
+		plan: func(f Fabric, src int, dests packet.DestSet, emit func(Plan)) error {
+			up, down := PathSplit(func(d int) int { return d }, src, dests)
+			if err := emitChain(f, up, false, emit); err != nil {
+				return err
+			}
+			return emitChain(f, down, true, emit)
+		},
+		// Each dual-path header is provisioned to list half the
+		// terminals, log2(n) bits per listed destination.
+		bits: func(f Fabric) int {
+			m := f.MoT()
+			return ceilDiv(m.N, 2) * m.Levels
+		},
+	}
+
+	dpm = &scheme{
+		name: DPMName,
+		plan: func(f Fabric, _ int, dests packet.DestSet, emit func(Plan)) error {
+			var buf [64]packet.DestSet
+			parts := buf[:0]
+			dests.ForEach(func(d int) { parts = append(parts, packet.Dest(d)) })
+			parts = MergeAdjacent(parts, func(s packet.DestSet) int { return LinkCost(f, s) })
+			for _, part := range parts {
+				if err := emitChain(f, part, false, emit); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		// The merged-partition header must hold the worst case of every
+		// destination in one partition: n entries of log2(n) bits.
+		bits: func(f Fabric) int {
+			m := f.MoT()
+			return m.N * m.Levels
+		},
+	}
+)
+
+// Strategies returns every registered scheme in reporting order.
+func Strategies() []Strategy {
+	return []Strategy{serialUnicast, treeMulticast, speculativeMulticast, pathBased, dpm}
+}
+
+// StrategyNames returns the registry names in reporting order.
+func StrategyNames() []string {
+	all := Strategies()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// StrategyByName resolves a registry name.
+func StrategyByName(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("routing: unknown strategy %q (have %v)", name, StrategyNames())
+}
+
+// DefaultStrategy returns the scheme a fabric uses when the spec names
+// none: the serial baseline expands multicasts into ascending unicasts,
+// every other architecture uses the paper's simplified speculative
+// multicast. Both reproduce the pre-strategy behavior bit-identically.
+func DefaultStrategy(serial bool) Strategy {
+	if serial {
+		return serialUnicast
+	}
+	return speculativeMulticast
+}

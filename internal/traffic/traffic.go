@@ -120,6 +120,20 @@ func (b MulticastStatic) NextDests(src int, r *rng.Source) packet.DestSet {
 	return packet.Dest(r.Intn(b.N))
 }
 
+// Fixed sends every packet to one fixed destination set: the motsim
+// -dests workload and the strategy differential tests, where the
+// interesting variable is the routing plan rather than the traffic.
+type Fixed struct {
+	N   int
+	Set packet.DestSet
+}
+
+// Name implements Benchmark.
+func (b Fixed) Name() string { return "Fixed" + b.Set.String() }
+
+// NextDests implements Benchmark.
+func (b Fixed) NextDests(int, *rng.Source) packet.DestSet { return b.Set }
+
 // StandardSuite returns the paper's six benchmarks for an n x n MoT, in
 // reporting order.
 func StandardSuite(n int) []Benchmark {
