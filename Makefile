@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke test-routing ci experiments clean
+.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke service-smoke fuzz-smoke test-routing ci experiments clean
 
 all: build
 
@@ -75,6 +75,22 @@ bench-smoke:
 		benchstat bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt; \
 	fi
 
+# service-smoke exercises simulation-as-a-service end to end: asyncnocd
+# starts on an ephemeral port over a temp cache dir, the same Fig6a-point
+# job is submitted twice (the second response must be a cache hit served
+# in < 10ms), SIGTERM must drain cleanly (exit 0, store flushed), and a
+# restart over the same cache dir must serve the job from disk without
+# recomputing (DESIGN.md section 13).
+service-smoke:
+	sh scripts/service_smoke.sh
+
+# fuzz-smoke gives the store's entry decoder a short randomized beating
+# on every CI run: Decode must never panic, and any entry it accepts
+# must re-encode byte-identically (acceptance implies integrity). Longer
+# campaigns: go test -fuzz FuzzStoreDecode -fuzztime 10m ./internal/store
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzStoreDecode -fuzztime 10s ./internal/store
+
 # test-routing is the scheme-shootout shard: the routing package (the
 # Strategy interface and all five multicast schemes) runs alone with a
 # coverage gate — the strategy layer must keep >= 90% statement coverage.
@@ -88,9 +104,9 @@ test-routing:
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (engine determinism, property, and fault-layer tests included), the
-# fault soak, the observability smoke, the hot-path benchmark guard, and
-# the optional static analyzers.
-ci: vet build test-routing race soak obs-smoke bench-smoke lint vuln
+# fault soak, the observability smoke, the hot-path benchmark guard, the
+# service and store-fuzz smokes, and the optional static analyzers.
+ci: vet build test-routing race soak obs-smoke bench-smoke service-smoke fuzz-smoke lint vuln
 
 # experiments regenerates the paper's tables at CI scale.
 experiments:

@@ -53,8 +53,10 @@ import (
 	"asyncnoc/internal/packet"
 	"asyncnoc/internal/rng"
 	"asyncnoc/internal/routing"
+	"asyncnoc/internal/service"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/stats"
+	"asyncnoc/internal/store"
 	"asyncnoc/internal/timing"
 	"asyncnoc/internal/topology"
 	"asyncnoc/internal/traffic"
@@ -476,6 +478,52 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 
 // WriteHeapProfile snapshots the heap into path (after a GC).
 func WriteHeapProfile(path string) error { return obs.WriteHeapProfile(path) }
+
+// ResultStore is the persistent layer an Engine consults behind its
+// in-memory memo: a durable, checksum-verified map from job key to
+// RunResult shared across processes.
+type ResultStore = core.ResultStore
+
+// StoreStats carries a persistent store's health counters (hits,
+// misses, corrupt entries healed, writes, write errors).
+type StoreStats = core.StoreStats
+
+// Store is the file-backed ResultStore: one file per SHA-256 job key,
+// written atomically (temp + fsync + rename) with a CRC-32C frame, so
+// a crash mid-write can never corrupt a served result — a torn or
+// bit-rotted entry is detected on read, deleted, and recomputed.
+type Store = store.Store
+
+// OpenStore opens (creating if needed) a persistent result store rooted
+// at dir and sweeps any temp files a crashed writer left behind. Attach
+// it with Engine.SetStore; Close flushes pending write-behind commits.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// Client wraps the asyncnocd simulation-service API with capped
+// exponential backoff + jitter on 429/5xx/transport errors — the NI
+// retransmission policy, lifted to the service layer.
+type Client = service.Client
+
+// NewServiceClient returns a Client for the asyncnocd server at
+// baseURL (e.g. "http://localhost:8080") with the default retry policy.
+// Client.Runner adapts it into Engine.SetRemote's delegate; jobs the
+// API cannot express or a server that stays unreachable degrade to
+// local computation.
+func NewServiceClient(baseURL string) *Client { return service.NewClient(baseURL) }
+
+// RunRequest / RunResponse and SweepRequest / SweepResponse are the
+// wire shapes of POST /v1/run and POST /v1/sweep.
+type (
+	RunRequest    = service.RunRequest
+	RunResponse   = service.RunResponse
+	SweepRequest  = service.SweepRequest
+	SweepResponse = service.SweepResponse
+)
+
+// CanceledError reports a multi-run search (saturation bisection, load
+// sweep) abandoned by its context between iterations; it unwraps to the
+// context's error.
+type CanceledError = core.CanceledError
 
 // SweepPoint is one point of a latency-versus-offered-load curve.
 type SweepPoint = core.SweepPoint

@@ -43,6 +43,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		n       = flag.Int("n", 8, "MoT radix (the paper evaluates 8; 16 explores the future-work size)")
 		util    = flag.Bool("util", false, "also print the per-level fanout utilization table")
+		cache   = flag.String("cache-dir", "", "persistent result store directory (shared warm cache)")
+		server  = flag.String("server", "", "asyncnocd base URL (e.g. http://localhost:8080); runs execute remotely with local fallback")
 		httpAd  = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -55,6 +57,17 @@ func main() {
 	s.Seed = *seed
 	s.Workers = *workers
 
+	if *cache != "" {
+		st, err := asyncnoc.OpenStore(*cache)
+		check(err)
+		defer st.Close() //nolint:errcheck // Close only flushes; errors are counted
+		s.Engine().SetStore(st)
+		fmt.Fprintf(os.Stderr, "store: persistent cache at %s\n", st.Dir())
+	}
+	if *server != "" {
+		s.Engine().SetRemote(asyncnoc.NewServiceClient(*server).Runner())
+		fmt.Fprintf(os.Stderr, "server: submitting runs to %s (local fallback on failure)\n", *server)
+	}
 	if *cpuProf != "" {
 		stop, err := asyncnoc.StartCPUProfile(*cpuProf)
 		check(err)
@@ -112,6 +125,14 @@ func main() {
 		ut, err := s.UtilizationTable()
 		check(err)
 		emit("utilization", ut)
+		// Cache health rides along with the utilization diagnostics: the
+		// same run that inspects fanout efficiency usually wants to know
+		// whether the shared result cache is pulling its weight.
+		if snap := s.Engine().Snapshot(); snap.HasStore {
+			fmt.Printf("cache health: %d store hits, %d misses, %d corrupt entries healed, %d writes (%d errors)\n\n",
+				snap.Store.Hits, snap.Store.Misses, snap.Store.Corrupt,
+				snap.Store.Writes, snap.Store.WriteErrors)
+		}
 	}
 
 	if *faults {
@@ -131,6 +152,11 @@ func main() {
 	hits, misses := s.Engine().Stats()
 	fmt.Fprintf(os.Stderr, "engine: %d unique simulations, %d memo hits, %d workers\n",
 		misses, hits, s.Engine().Workers())
+	if snap := s.Engine().Snapshot(); snap.HasStore {
+		fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d corrupt healed, %d writes (%d errors)\n",
+			snap.Store.Hits, snap.Store.Misses, snap.Store.Corrupt,
+			snap.Store.Writes, snap.Store.WriteErrors)
+	}
 }
 
 func check(err error) {

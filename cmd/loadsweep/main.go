@@ -27,6 +27,8 @@ func main() {
 		maxFrac   = flag.Float64("maxfrac", 0.95, "highest load as a fraction of saturation")
 		seed      = flag.Uint64("seed", 7, "random seed")
 		workers   = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
+		cache     = flag.String("cache-dir", "", "persistent result store directory (shared warm cache)")
+		server    = flag.String("server", "", "asyncnocd base URL; runs execute remotely with local fallback")
 		httpAddr  = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -34,6 +36,19 @@ func main() {
 	flag.Parse()
 
 	eng := asyncnoc.NewEngine(*workers)
+	if *cache != "" {
+		st, err := asyncnoc.OpenStore(*cache)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close() //nolint:errcheck // Close only flushes; errors are counted
+		eng.SetStore(st)
+		fmt.Fprintf(os.Stderr, "store: persistent cache at %s\n", st.Dir())
+	}
+	if *server != "" {
+		eng.SetRemote(asyncnoc.NewServiceClient(*server).Runner())
+		fmt.Fprintf(os.Stderr, "server: submitting runs to %s (local fallback on failure)\n", *server)
+	}
 	if *cpuProf != "" {
 		stop, err := asyncnoc.StartCPUProfile(*cpuProf)
 		if err != nil {
@@ -85,6 +100,11 @@ func main() {
 				p.FractionOfSat, p.Result.LoadGFs, p.Result.AvgLatencyNs,
 				p.Result.ThroughputGFs, 100*p.Result.Completion)
 		}
+	}
+	if snap := eng.Snapshot(); snap.HasStore {
+		fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d corrupt healed, %d writes (%d errors)\n",
+			snap.Store.Hits, snap.Store.Misses, snap.Store.Corrupt,
+			snap.Store.Writes, snap.Store.WriteErrors)
 	}
 }
 

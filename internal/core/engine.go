@@ -76,6 +76,41 @@ func JobKey(spec network.Spec, cfg RunConfig) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// StoreStats carries a persistent result store's health counters. Hits
+// and Misses count read-throughs (a Corrupt entry also counts as a
+// miss — it was deleted and recomputed); Writes and WriteErrors count
+// write-behind commits.
+type StoreStats struct {
+	Hits, Misses, Corrupt uint64
+	Writes, WriteErrors   uint64
+}
+
+// ResultStore is the persistent layer behind the in-memory memo: a
+// durable, checksum-verified map from job key to RunResult shared
+// across processes. Implementations must be safe for concurrent use,
+// must never return a result that fails verification (a corrupt entry
+// is a miss), and must treat Put as best-effort (a failed write only
+// costs a recompute). internal/store provides the file-backed
+// implementation; the interface lives here so the engine does not
+// depend on any particular persistence mechanism.
+type ResultStore interface {
+	Get(key string) (RunResult, bool)
+	Put(key string, res RunResult)
+	Stats() StoreStats
+}
+
+// RemoteRunner executes one simulation somewhere else (typically an
+// asyncnocd server wrapped by the service client). Returning an error
+// that matches ErrRemoteUnavailable makes the engine fall back to local
+// computation — graceful degradation when the server is down, draining,
+// or cannot express the job; any other error (including ctx.Err()) is
+// the job's result.
+type RemoteRunner func(ctx context.Context, spec network.Spec, cfg RunConfig) (RunResult, error)
+
+// ErrRemoteUnavailable marks remote-execution failures that should
+// degrade to local computation instead of failing the job.
+var ErrRemoteUnavailable = errors.New("core: remote runner unavailable")
+
 // memoEntry is one memo slot. done is closed once res/err are final;
 // waiters block on it without holding the engine lock or a pool slot.
 type memoEntry struct {
@@ -109,10 +144,18 @@ type Engine struct {
 
 	hits, misses uint64
 
-	// started/completed count unique (non-memoized) computations; they
-	// are atomics so the monitoring endpoint can sample progress without
+	// store, when non-nil, is the persistent layer consulted on a memo
+	// miss (read-through) and populated after each successful compute
+	// (write-behind). remote, when non-nil, replaces local computation.
+	// Both are atomics so Run never contends on e.mu to read them.
+	store  atomic.Pointer[ResultStore]
+	remote atomic.Pointer[RemoteRunner]
+
+	// started/completed count unique (non-memoized) local computations;
+	// remoteRuns counts jobs served by the remote delegate. All are
+	// atomics so the monitoring endpoint can sample progress without
 	// contending on the engine lock.
-	started, completed atomic.Uint64
+	started, completed, remoteRuns atomic.Uint64
 }
 
 // NewEngine returns an engine with the given pool size; workers <= 0
@@ -143,6 +186,38 @@ func (e *Engine) SetMemoCapacity(n int) {
 	e.evictLocked()
 }
 
+// SetStore layers a persistent result store behind the memo: memo
+// misses read through to it, and completed computations write behind to
+// it. nil detaches. Safe to call concurrently with running jobs; runs
+// in flight pick the store up on their next lookup.
+func (e *Engine) SetStore(s ResultStore) {
+	if s == nil {
+		e.store.Store(nil)
+		return
+	}
+	e.store.Store(&s)
+}
+
+// Store returns the attached persistent store (nil when none).
+func (e *Engine) Store() ResultStore {
+	if p := e.store.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetRemote delegates computation to a remote runner (typically an
+// asyncnocd server via the service client). The memo and the persistent
+// store still apply in front of it; a delegate error matching
+// ErrRemoteUnavailable falls back to local computation. nil detaches.
+func (e *Engine) SetRemote(r RemoteRunner) {
+	if r == nil {
+		e.remote.Store(nil)
+		return
+	}
+	e.remote.Store(&r)
+}
+
 // Stats returns the memo hit and miss counts (diagnostics and tests).
 func (e *Engine) Stats() (hits, misses uint64) {
 	e.mu.Lock()
@@ -157,9 +232,17 @@ type EngineSnapshot struct {
 	// Hits and Misses are the memo counters: Hits/(Hits+Misses) is the
 	// dedup rate of the workload so far.
 	Hits, Misses uint64
-	// Started and Completed count unique simulations begun and finished;
-	// Started-Completed simulations are executing right now.
+	// Started and Completed count unique local simulations begun and
+	// finished; Started-Completed simulations are executing right now.
 	Started, Completed uint64
+	// RemoteRuns counts jobs served by the remote delegate (they never
+	// touch the local pool, so they are excluded from Started).
+	RemoteRuns uint64
+	// Store holds the persistent store's counters when one is attached
+	// (all-zero otherwise); HasStore distinguishes "no store" from "cold
+	// store".
+	Store    StoreStats
+	HasStore bool
 }
 
 // InFlight returns how many unique simulations are executing.
@@ -181,13 +264,19 @@ func (e *Engine) Snapshot() EngineSnapshot {
 	e.mu.Lock()
 	hits, misses := e.hits, e.misses
 	e.mu.Unlock()
-	return EngineSnapshot{
+	snap := EngineSnapshot{
 		Workers:   e.workers,
 		Hits:      hits,
 		Misses:    misses,
-		Started:   e.started.Load(),
-		Completed: e.completed.Load(),
+		Started:    e.started.Load(),
+		Completed:  e.completed.Load(),
+		RemoteRuns: e.remoteRuns.Load(),
 	}
+	if st := e.Store(); st != nil {
+		snap.Store = st.Stats()
+		snap.HasStore = true
+	}
+	return snap
 }
 
 // evictLocked drops completed entries from the LRU tail until the memo
@@ -236,8 +325,38 @@ func (e *Engine) RunContext(ctx context.Context, spec network.Spec, cfg RunConfi
 		<-e.sem
 		return res, err
 	}
-	ent, compute := e.claim(JobKey(spec, cfg))
+	key := JobKey(spec, cfg)
+	ent, compute := e.claim(key)
 	if compute {
+		// Read through to the persistent store before paying for a pool
+		// slot: a disk hit costs microseconds and the in-flight entry
+		// already deduplicates concurrent lookups of the same key.
+		if st := e.Store(); st != nil {
+			if res, ok := st.Get(key); ok {
+				ent.res, ent.err = res, nil
+				close(ent.done)
+				e.sweep()
+				return res, nil
+			}
+		}
+		if rr := e.loadRemote(); rr != nil {
+			// Remote execution does not hold a local pool slot: the
+			// server applies its own admission control, and the point of
+			// delegating is to fan out past local capacity.
+			res, err := rr(ctx, spec, cfg)
+			if err == nil || !errors.Is(err, ErrRemoteUnavailable) {
+				e.remoteRuns.Add(1)
+				ent.res, ent.err = res, err
+				close(ent.done)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					e.forget(ent)
+				}
+				e.sweep()
+				e.writeBehind(key, ent)
+				return ent.res, ent.err
+			}
+			// Server unavailable: degrade to local computation.
+		}
 		select {
 		case e.sem <- struct{}{}:
 		case <-ctx.Done():
@@ -254,6 +373,8 @@ func (e *Engine) RunContext(ctx context.Context, spec network.Spec, cfg RunConfi
 		if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
 			e.forget(ent)
 		}
+		e.sweep()
+		e.writeBehind(key, ent)
 		return ent.res, ent.err
 	}
 	select {
@@ -262,6 +383,35 @@ func (e *Engine) RunContext(ctx context.Context, spec network.Spec, cfg RunConfi
 	case <-ctx.Done():
 		return RunResult{}, ctx.Err()
 	}
+}
+
+// loadRemote returns the remote delegate (nil when none).
+func (e *Engine) loadRemote() RemoteRunner {
+	if p := e.remote.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// writeBehind persists a successful result; errors stay the engine's
+// business, never the store's.
+func (e *Engine) writeBehind(key string, ent *memoEntry) {
+	if ent.err != nil {
+		return
+	}
+	if st := e.Store(); st != nil {
+		st.Put(key, ent.res)
+	}
+}
+
+// sweep re-applies the capacity bound after an entry completes. Eviction
+// skips in-flight entries (their done channel is still open — see
+// evictLocked), so a SetMemoCapacity shrink issued while computations
+// were running could otherwise leave the memo over budget forever.
+func (e *Engine) sweep() {
+	e.mu.Lock()
+	e.evictLocked()
+	e.mu.Unlock()
 }
 
 // runSafely converts a worker panic into a *PanicError: one poisoned job
@@ -304,6 +454,16 @@ func (e *Engine) claim(key string) (*memoEntry, bool) {
 	e.memo[key] = ent
 	e.evictLocked()
 	return ent, true
+}
+
+// Memoized reports whether key's result is resident and final in the
+// in-memory memo (the service layer uses it to label responses as
+// cache hits without touching the persistent store's counters).
+func (e *Engine) Memoized(key string) bool {
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	e.mu.Unlock()
+	return ok && ent.completed()
 }
 
 // Speculate warms the memo asynchronously: each job is computed on the

@@ -71,6 +71,29 @@ func (e *LivelockError) Error() string {
 		e.Network, e.Events, e.At)
 }
 
+// CanceledError reports a multi-run search (saturation bisection, load
+// sweep) abandoned by its context between iterations. It joins the
+// typed family (ProtocolError, DeadlockError, ...) so callers can
+// switch on error kind, while Unwrap keeps errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded)
+// working for deadline plumbing (HTTP request timeouts in particular).
+type CanceledError struct {
+	// Network is the spec name of the abandoned search.
+	Network string
+	// Stage names where the search stopped (e.g. "saturation grow",
+	// "saturation bisect iteration 3/9").
+	Stage string
+	// Err is the context's error (context.Canceled or DeadlineExceeded).
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: %s: %s canceled: %v", e.Network, e.Stage, e.Err)
+}
+
+// Unwrap exposes the context error for errors.Is chains.
+func (e *CanceledError) Unwrap() error { return e.Err }
+
 // PanicError reports a panic recovered from a worker running a
 // simulation: the poisoned job fails with this error instead of killing
 // the pool or losing sibling results.

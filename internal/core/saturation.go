@@ -97,7 +97,7 @@ func (e *Engine) SaturationContext(ctx context.Context, spec network.Spec, cfg S
 		c.LoadGFs = load
 		return c
 	}
-	return saturationSearch(spec.Name, cfg,
+	return saturationSearch(ctx, spec.Name, cfg,
 		func(load float64) (RunResult, error) { return e.RunContext(ctx, spec, cfgAt(load)) },
 		func(loads ...float64) {
 			jobs := make([]Job, len(loads))
@@ -111,17 +111,30 @@ func (e *Engine) SaturationContext(ctx context.Context, spec network.Spec, cfg S
 // SaturationWith runs the saturation search against an arbitrary serial
 // runner (the mesh substrate reuses it); name labels error messages.
 func SaturationWith(name string, cfg SatConfig, run func(load float64) (RunResult, error)) (SatResult, error) {
-	return saturationSearch(name, cfg, run, nil)
+	return saturationSearch(context.Background(), name, cfg, run, nil)
 }
 
 // saturationSearch is the search shared by the serial and engine entry
 // points. speculate, when non-nil, is handed the loads the next step
 // *might* probe — a pure memo warm-up that must not affect any result.
-func saturationSearch(name string, cfg SatConfig, run func(load float64) (RunResult, error),
+//
+// ctx is consulted between iterations, not just inside each probe: on a
+// warm memo every probe is an instant hit that never observes
+// cancellation, so without the explicit checks an abandoned search
+// would happily run to completion (issuing a fresh speculation pair per
+// level as it went). A canceled search returns a *CanceledError that
+// unwraps to ctx.Err().
+func saturationSearch(ctx context.Context, name string, cfg SatConfig, run func(load float64) (RunResult, error),
 	speculate func(loads ...float64)) (SatResult, error) {
 	cfg.defaults()
 	if speculate == nil {
 		speculate = func(...float64) {}
+	}
+	canceled := func(stage string) (SatResult, error) {
+		return SatResult{}, &CanceledError{Network: name, Stage: stage, Err: ctx.Err()}
+	}
+	if ctx.Err() != nil {
+		return canceled("saturation zero-load probe")
 	}
 	// The first probe after the zero-load anchor is always StartLoad.
 	speculate(cfg.StartLoad)
@@ -141,6 +154,9 @@ func saturationSearch(name string, cfg SatConfig, run func(load float64) (RunRes
 	var loRes RunResult
 	// Grow hi until it saturates (or the cap is hit).
 	for {
+		if ctx.Err() != nil {
+			return canceled("saturation grow")
+		}
 		// Whichever way this probe goes, the next one is either the
 		// doubled load (still stable) or the first bisection midpoint
 		// (saturated): evaluate both candidates concurrently.
@@ -168,6 +184,9 @@ func saturationSearch(name string, cfg SatConfig, run func(load float64) (RunRes
 	}
 	// Bisect the boundary.
 	for i := 0; i < cfg.Iters; i++ {
+		if ctx.Err() != nil {
+			return canceled(fmt.Sprintf("saturation bisect iteration %d/%d", i+1, cfg.Iters))
+		}
 		mid := (lo + hi) / 2
 		if i+1 < cfg.Iters {
 			// Speculative bisection: the next midpoint is (lo+mid)/2 if

@@ -29,13 +29,21 @@ var (
 				return nil
 			}
 			s := e.Snapshot()
-			return map[string]any{
+			out := map[string]any{
 				"workers":   s.Workers,
 				"memo_hits": s.Hits, "memo_misses": s.Misses,
 				"memo_hit_rate": s.HitRate(),
 				"started":       s.Started, "completed": s.Completed,
-				"in_flight": s.InFlight(),
+				"in_flight": s.InFlight(), "remote_runs": s.RemoteRuns,
 			}
+			if s.HasStore {
+				out["store"] = map[string]any{
+					"hits": s.Store.Hits, "misses": s.Store.Misses,
+					"corrupt": s.Store.Corrupt,
+					"writes":  s.Store.Writes, "write_errors": s.Store.WriteErrors,
+				}
+			}
+			return out
 		}))
 		expvar.Publish("asyncnoc.progress", expvar.Func(func() any {
 			p := monProgress.Load()
@@ -61,15 +69,24 @@ type Monitor struct {
 	srv *http.Server
 }
 
-// StartMonitor serves the monitoring endpoint on addr (e.g. ":8090";
-// ":0" picks a free port — see Addr). engine and progress may be nil;
-// their vars then render as null.
-func StartMonitor(addr string, engine *core.Engine, progress *Progress) (*Monitor, error) {
+// PublishVars registers the asyncnoc expvar variables (once per
+// process) and points them at engine and progress; either may be nil
+// (the var then renders as null). StartMonitor calls it implicitly;
+// servers that own their HTTP mux (asyncnocd) call it directly and
+// mount expvar.Handler themselves.
+func PublishVars(engine *core.Engine, progress *Progress) {
 	if monPublished.CompareAndSwap(false, true) {
 		monPublish()
 	}
 	monEngine.Store(engine)
 	monProgress.Store(progress)
+}
+
+// StartMonitor serves the monitoring endpoint on addr (e.g. ":8090";
+// ":0" picks a free port — see Addr). engine and progress may be nil;
+// their vars then render as null.
+func StartMonitor(addr string, engine *core.Engine, progress *Progress) (*Monitor, error) {
+	PublishVars(engine, progress)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: monitor listen %s: %w", addr, err)

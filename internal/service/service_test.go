@@ -1,0 +1,368 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncnoc/internal/core"
+	"asyncnoc/internal/network"
+	"asyncnoc/internal/sim"
+	"asyncnoc/internal/store"
+)
+
+// testRunRequest builds a small, fast Fig.6a-style job (the same shape
+// the crash-recovery tests use).
+func testRunRequest(t *testing.T, seed uint64) RunRequest {
+	t.Helper()
+	spec, err := core.SpecByName(8, core.NameOptHybridSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunRequest{
+		Spec: spec, Bench: "Multicast10", LoadGFs: 0.3, Seed: seed,
+		WarmupPs:  int64(40 * sim.Nanosecond),
+		MeasurePs: int64(160 * sim.Nanosecond),
+		DrainPs:   int64(80 * sim.Nanosecond),
+	}
+}
+
+// newTestService stands up a full stack: persistent store, engine,
+// server, httptest listener, and a client with fast retries.
+func newTestService(t *testing.T, tune func(*Server)) (*Server, *Client, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(2)
+	eng.SetStore(st)
+	srv := NewServer(eng, st)
+	if tune != nil {
+		tune(srv)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { st.Close() }) //nolint:errcheck
+	c := NewClient(hs.URL)
+	c.BaseBackoff = 2 * time.Millisecond
+	c.MaxBackoff = 20 * time.Millisecond
+	return srv, c, st
+}
+
+// TestServiceRunCacheHit: the second submission of an identical job is
+// served from the cache (Cached=true), the result is byte-identical,
+// and the committed entry is retrievable by job key.
+func TestServiceRunCacheHit(t *testing.T) {
+	_, c, st := newTestService(t, nil)
+	req := testRunRequest(t, 3)
+	ctx := context.Background()
+	first, err := c.RunJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("cold run reported Cached=true")
+	}
+	second, err := c.RunJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second identical run not served from cache")
+	}
+	a, _ := json.Marshal(first.Result)
+	b, _ := json.Marshal(second.Result)
+	if string(a) != string(b) {
+		t.Fatalf("cached result differs:\n%s\nvs\n%s", a, b)
+	}
+	st.Flush()
+	job, ok, err := c.Job(ctx, first.Key)
+	if err != nil || !ok {
+		t.Fatalf("GET /v1/jobs/%s: ok=%v err=%v", first.Key, ok, err)
+	}
+	if j, _ := json.Marshal(job.Result); string(j) != string(a) {
+		t.Fatalf("stored entry differs from run response:\n%s\nvs\n%s", j, a)
+	}
+	if _, ok, err := c.Job(ctx, strings.Repeat("0", 64)); err != nil || ok {
+		t.Fatalf("unknown key: ok=%v err=%v, want miss without error", ok, err)
+	}
+}
+
+// TestServiceSheddingAndClientRetry: with a single admission slot held
+// by a blocked job, a raw request is shed with 429 + Retry-After, and
+// the retrying client rides out the shed window to success.
+func TestServiceSheddingAndClientRetry(t *testing.T) {
+	release := make(chan struct{})
+	var srv *Server
+	srv, c, _ := newTestService(t, func(s *Server) {
+		s.MaxQueue = 1
+		s.Engine.SetRemote(func(_ context.Context, spec network.Spec, cfg core.RunConfig) (core.RunResult, error) {
+			<-release
+			return core.RunResult{Network: spec.Name, Benchmark: cfg.Bench.Name(), LoadGFs: cfg.LoadGFs}, nil
+		})
+	})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.RunJob(ctx, testRunRequest(t, 1)); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Wait until the blocker owns the only admission slot.
+	for deadline := time.Now().Add(5 * time.Second); srv.Snapshot().Queued == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A raw request (no retries) is shed immediately.
+	body, _ := json.Marshal(testRunRequest(t, 2))
+	resp, err := http.Post(c.BaseURL+"/v1/run", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Kind != ErrKindShed {
+		t.Fatalf("shed body: %+v err=%v", e, err)
+	}
+
+	// The retrying client keeps backing off until the slot frees.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.RunJob(ctx, testRunRequest(t, 2)); err != nil {
+			t.Errorf("retrying client did not recover: %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let it eat at least one 429
+	close(release)
+	wg.Wait()
+	if snap := srv.Snapshot(); snap.Shed == 0 || snap.Done < 2 {
+		t.Fatalf("snapshot %+v: want shed > 0 and 2 completed jobs", snap)
+	}
+}
+
+// TestServiceDeadline: a request-level timeout cancels the simulation
+// mid-run and surfaces as 504/timeout; the worker does not leak (the
+// next request on the same engine succeeds).
+func TestServiceDeadline(t *testing.T) {
+	srv, c, _ := newTestService(t, nil)
+	c.MaxAttempts = 1 // 504 is retryable; keep the test to one attempt
+	req := testRunRequest(t, 5)
+	req.MeasurePs = int64(400000 * sim.Nanosecond) // heavy enough to outlive 1ms
+	req.TimeoutMs = 1
+	_, err := c.RunJob(context.Background(), req)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T (%v), want *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusGatewayTimeout || apiErr.Kind != ErrKindTimeout {
+		t.Fatalf("got %d/%s, want 504/%s", apiErr.Status, apiErr.Kind, ErrKindTimeout)
+	}
+	if snap := srv.Snapshot(); snap.Timeouts != 1 {
+		t.Fatalf("timeout counter = %d, want 1", snap.Timeouts)
+	}
+	// Engine is healthy afterwards.
+	if _, err := c.RunJob(context.Background(), testRunRequest(t, 6)); err != nil {
+		t.Fatalf("engine unhealthy after timeout: %v", err)
+	}
+}
+
+// TestServiceDrain: after BeginDrain, readyz reports unavailable and new
+// jobs are refused with 503/draining, while healthz still answers.
+func TestServiceDrain(t *testing.T) {
+	srv, c, _ := newTestService(t, nil)
+	ctx := context.Background()
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("fresh server not ready: %v", err)
+	}
+	srv.BeginDrain()
+	if err := c.Ready(ctx); err == nil {
+		t.Fatal("draining server still reports ready")
+	}
+	body, _ := json.Marshal(testRunRequest(t, 7))
+	resp, err := http.Post(c.BaseURL+"/v1/run", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Kind != ErrKindDraining {
+		t.Fatalf("drain body: %+v err=%v", e, err)
+	}
+	hr, err := http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil || h.Status != "draining" {
+		t.Fatalf("healthz while draining: %+v err=%v", h, err)
+	}
+	if snap := srv.Snapshot(); snap.Refused != 1 {
+		t.Fatalf("refused counter = %d, want 1", snap.Refused)
+	}
+}
+
+// TestServiceBadRequest: malformed jobs fail fast with 400 and are not
+// retried by the client.
+func TestServiceBadRequest(t *testing.T) {
+	_, c, _ := newTestService(t, nil)
+	ctx := context.Background()
+	req := testRunRequest(t, 8)
+	req.Bench = "NoSuchBenchmark"
+	_, err := c.RunJob(ctx, req)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Kind != ErrKindBadRequest {
+		t.Fatalf("bad benchmark: %v, want 400/%s", err, ErrKindBadRequest)
+	}
+	// Unknown JSON fields are rejected, not silently dropped.
+	resp, err := http.Post(c.BaseURL+"/v1/run", "application/json",
+		strings.NewReader(`{"spec":{},"bench":"UniformRandom","surprise":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServiceSweep: a sweep request returns the requested number of
+// curve points through the service path.
+func TestServiceSweep(t *testing.T) {
+	_, c, _ := newTestService(t, nil)
+	run := testRunRequest(t, 9)
+	resp, err := c.Sweep(context.Background(), SweepRequest{
+		Spec: run.Spec, Bench: run.Bench, Seed: run.Seed,
+		WarmupPs: run.WarmupPs, MeasurePs: run.MeasurePs, DrainPs: run.DrainPs,
+		Points: 2, MaxFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 2 {
+		t.Fatalf("sweep returned %d points, want 2", len(resp.Points))
+	}
+	if resp.Network != run.Spec.Name || resp.Benchmark != run.Bench {
+		t.Fatalf("sweep labels: %q/%q", resp.Network, resp.Benchmark)
+	}
+}
+
+// TestClientRunnerFallback: with no server listening, the engine's
+// remote delegate degrades to local computation and the result matches
+// a plain local run.
+func TestClientRunnerFallback(t *testing.T) {
+	// A listener that is already closed: connection refused, fast.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c := NewClient(dead.URL)
+	c.MaxAttempts = 2
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Millisecond
+
+	req := testRunRequest(t, 10)
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(req.Spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(2)
+	eng.SetRemote(c.Runner())
+	got, err := eng.Run(req.Spec, cfg)
+	if err != nil {
+		t.Fatalf("no local fallback: %v", err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("fallback result differs from local run:\n%s\nvs\n%s", b, a)
+	}
+	if snap := eng.Snapshot(); snap.Started != 1 {
+		t.Fatalf("local fallback started %d simulations, want 1", snap.Started)
+	}
+}
+
+// TestClientRemoteMatchesLocal: the full remote path — engine delegating
+// to a live server — returns byte-identical results to a local run, and
+// the server's store ends up holding the entry.
+func TestClientRemoteMatchesLocal(t *testing.T) {
+	_, c, st := newTestService(t, nil)
+	req := testRunRequest(t, 11)
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(req.Spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := core.NewEngine(2)
+	local.SetRemote(c.Runner())
+	got, err := local.Run(req.Spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("remote result differs from local:\n%s\nvs\n%s", b, a)
+	}
+	if snap := local.Snapshot(); snap.Started != 0 {
+		t.Fatalf("remote run started %d local simulations, want 0", snap.Started)
+	}
+	st.Flush()
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("server store entries = %d (err=%v), want 1", n, err)
+	}
+}
+
+// TestBackoffDelayPolicy: capped exponential with jitter in [50%, 100%],
+// raised to the server's Retry-After hint but never past the cap.
+func TestBackoffDelayPolicy(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := backoffDelay(attempt, base, max, nil)
+			full := base << uint(attempt)
+			if full > max || full <= 0 {
+				full = max
+			}
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+	hint := &APIError{Status: 429, retryAfter: 10 * time.Second}
+	if d := backoffDelay(0, base, max, hint); d != max {
+		t.Fatalf("Retry-After hint not capped: %v, want %v", d, max)
+	}
+	short := &APIError{Status: 429, retryAfter: time.Millisecond}
+	if d := backoffDelay(3, base, max, short); d < (base<<3)/2 {
+		t.Fatalf("short Retry-After lowered the backoff: %v", d)
+	}
+}
