@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke service-smoke fuzz-smoke test-routing ci experiments clean
+.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke service-smoke fuzz-smoke test-routing shard-determinism ci experiments clean
 
 all: build
 
@@ -51,14 +51,18 @@ obs-smoke:
 	$(GO) build -o bin/jsontrace ./examples/jsontrace
 	./bin/motsim -sat -workers 1 -trace-out bin/trace_w1.jsonl >/dev/null
 	./bin/motsim -sat -workers 4 -trace-out bin/trace_w4.jsonl >/dev/null
+	./bin/motsim -sat -workers 1 -shards 4 -trace-out bin/trace_s4.jsonl >/dev/null
 	./bin/jsontrace -validate bin/trace_w1.jsonl
 	cmp bin/trace_w1.jsonl bin/trace_w4.jsonl
-	@echo "obs-smoke: trace schema valid and byte-identical at 1 and 4 workers"
+	cmp bin/trace_w1.jsonl bin/trace_s4.jsonl
+	@echo "obs-smoke: trace schema valid and byte-identical at 1 and 4 workers, and at 4 scheduler shards"
 
 # bench-smoke guards the simulation hot path: the kernel micro-benchmarks,
 # the NI transaction path, and the per-scheme strategy planning paths
 # (all of which must stay zero-alloc) plus the end-to-end Fig6a
-# regeneration run once, and benchguard fails the target
+# regeneration — serial and at 8 scheduler shards (the BenchmarkFig6aLatency
+# pattern matches both; the serial entry doubles as the 1-shard
+# no-regression gate) — run once, and benchguard fails the target
 # on a >10% wall-clock or any allocs/op regression against
 # bench/baseline.json. benchstat, when installed, prints a nicer delta
 # report (advisory, like lint). After a legitimate improvement refresh
@@ -102,11 +106,20 @@ test-routing:
 	awk -v t="$$total" 'BEGIN { exit (t >= 90.0) ? 0 : 1 }' || \
 		{ echo "test-routing: coverage $$total% below the 90% gate"; exit 1; }
 
+# shard-determinism pins the intra-run sharding contract (DESIGN.md
+# section 14): every architecture x routing strategy produces identical
+# results and byte-identical JSONL traces at 1, 2, 4, and 8 scheduler
+# shards. The same test also runs under the race detector as part of
+# the race target; this fast serial pass keeps the gate explicit and
+# cheap to re-run in isolation.
+shard-determinism:
+	$(GO) test -run TestShardDeterminism -count=1 .
+
 # ci is the gate: vet, build, the full suite under the race detector
 # (engine determinism, property, and fault-layer tests included), the
 # fault soak, the observability smoke, the hot-path benchmark guard, the
 # service and store-fuzz smokes, and the optional static analyzers.
-ci: vet build test-routing race soak obs-smoke bench-smoke service-smoke fuzz-smoke lint vuln
+ci: vet build test-routing shard-determinism race soak obs-smoke bench-smoke service-smoke fuzz-smoke lint vuln
 
 # experiments regenerates the paper's tables at CI scale.
 experiments:

@@ -38,6 +38,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "CI-scale measurement windows")
 		seed    = flag.Uint64("seed", 2016, "random seed")
 		workers = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "scheduler shards per run; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
 		sats    = flag.Bool("satloads", false, "also print the raw saturation loads")
 		faults  = flag.Bool("faults", false, "also run the fault-injection robustness sweep")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
@@ -56,6 +57,10 @@ func main() {
 	s.N = *n
 	s.Seed = *seed
 	s.Workers = *workers
+	s.Shards = *shards
+	if s.Shards == 0 {
+		s.Shards = asyncnoc.DefaultShards()
+	}
 
 	if *cache != "" {
 		st, err := asyncnoc.OpenStore(*cache)

@@ -27,6 +27,7 @@ func main() {
 		maxFrac   = flag.Float64("maxfrac", 0.95, "highest load as a fraction of saturation")
 		seed      = flag.Uint64("seed", 7, "random seed")
 		workers   = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "scheduler shards per run; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
 		cache     = flag.String("cache-dir", "", "persistent result store directory (shared warm cache)")
 		server    = flag.String("server", "", "asyncnocd base URL; runs execute remotely with local fallback")
 		httpAddr  = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
@@ -78,10 +79,13 @@ func main() {
 		fatal(err)
 	}
 	base := asyncnoc.RunConfig{
-		Bench: bench, Seed: *seed,
+		Bench: bench, Seed: *seed, Shards: *shards,
 		Warmup:  200 * asyncnoc.Nanosecond,
 		Measure: 1200 * asyncnoc.Nanosecond,
 		Drain:   600 * asyncnoc.Nanosecond,
+	}
+	if base.Shards == 0 {
+		base.Shards = asyncnoc.DefaultShards()
 	}
 	for _, name := range networkList {
 		spec, err := asyncnoc.NetworkByName(*n, strings.TrimSpace(name))

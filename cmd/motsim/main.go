@@ -48,6 +48,7 @@ func main() {
 		drain       = flag.Int("drain", 800, "drain window (ns)")
 		sat         = flag.Bool("sat", false, "search for saturation throughput instead of a fixed-load run")
 		workers     = flag.Int("workers", 0, "saturation-search parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "scheduler shards per run; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
 		list        = flag.Bool("list", false, "list network and benchmark names")
 		vcdPath     = flag.String("vcd", "", "dump handshake activity to this VCD file")
 		util        = flag.Bool("util", false, "print per-level fanout utilization after the run")
@@ -159,6 +160,10 @@ func main() {
 		Measure:   asyncnoc.Time(*measure) * asyncnoc.Nanosecond,
 		Drain:     asyncnoc.Time(*drain) * asyncnoc.Nanosecond,
 		MaxEvents: *maxEvents,
+		Shards:    *shards,
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = asyncnoc.DefaultShards()
 	}
 
 	if *sat {
@@ -257,7 +262,12 @@ func runInstrumented(spec asyncnoc.NetworkSpec, cfg asyncnoc.RunConfig, tracePat
 			return asyncnoc.RunResult{}, err
 		}
 	}
-	nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+	if g := nw.Group(); g != nil {
+		defer g.Close()
+		g.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+	} else {
+		nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
+	}
 	if sink != nil {
 		if err := sink.Flush(); err != nil {
 			return asyncnoc.RunResult{}, err

@@ -30,6 +30,7 @@ func main() {
 		n           = flag.Int("n", 8, "MoT radix")
 		file        = flag.String("file", "", "CSV schedule file (time_ns,src,dest[,dest...])")
 		drain       = flag.Int("drain", 2000, "extra simulated time after the last injection (ns)")
+		shards      = flag.Int("shards", 0, "scheduler shards for the replay; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -59,7 +60,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := asyncnoc.RunSchedule(spec, sched, asyncnoc.Time(*drain)*asyncnoc.Nanosecond)
+	k := *shards
+	if k == 0 {
+		k = asyncnoc.DefaultShards()
+	}
+	res, err := asyncnoc.RunScheduleShards(spec, sched, asyncnoc.Time(*drain)*asyncnoc.Nanosecond, k)
 	if err != nil {
 		fatal(err)
 	}

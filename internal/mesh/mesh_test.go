@@ -223,6 +223,35 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
+// cfg.Shards is an execution hint that must never change results: the
+// mesh has no sharded execution path yet, so any count falls back to
+// serial and matches the unsharded run exactly.
+func TestShardsFallBackToSerial(t *testing.T) {
+	cfg := core.RunConfig{
+		Bench:   traffic.UniformRandom{N: 16},
+		LoadGFs: 0.3,
+		Seed:    9,
+		Warmup:  100 * sim.Nanosecond,
+		Measure: 400 * sim.Nanosecond,
+		Drain:   300 * sim.Nanosecond,
+	}
+	want, err := Run(treeSpec(4, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 4} {
+		sharded := cfg
+		sharded.Shards = k
+		got, err := Run(treeSpec(4, 4), sharded)
+		if err != nil {
+			t.Fatalf("Shards=%d: %v", k, err)
+		}
+		if got != want {
+			t.Errorf("Shards=%d diverged from serial:\n%+v\n%+v", k, got, want)
+		}
+	}
+}
+
 func TestBroadcastFloodStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")

@@ -167,12 +167,9 @@ type Network struct {
 	chans []*node.Channel
 
 	// strat plans every injection and decodes every header against
-	// fabric; emitPlan and planBuf are the reusable plan-collection
-	// plumbing so a steady-state injection allocates nothing.
-	strat    routing.Strategy
-	fabric   routing.Fabric
-	emitPlan func(routing.Plan)
-	planBuf  []routing.Plan
+	// fabric.
+	strat  routing.Strategy
+	fabric routing.Fabric
 
 	nextID uint64
 
@@ -184,8 +181,19 @@ type Network struct {
 	// channel, or node references it. The fault layer breaks copy
 	// conservation (drops, wedged links, retry write-offs with
 	// stragglers in flight), so fault runs simply keep allocating.
+	// The freelists themselves live on the accounting contexts.
 	pooling bool
-	pktFree []*packet.Packet
+
+	// acct is the serial accounting context: every side effect applies
+	// directly through it. Sharded networks instead carry one context
+	// per shard in rts, deferring effects for barrier replay (shard.go).
+	acct    actx
+	group   *sim.ShardGroup
+	shardOf []int // tree -> shard; nil on serial networks
+	rts     []*shardRT
+	// replayAt backs the sharded meter's Now() during barrier replay: it
+	// tracks the timestamp of the meter effect being applied.
+	replayAt sim.Time
 }
 
 // FaultStats exposes the run's fault and recovery counters, or nil when
@@ -197,9 +205,9 @@ func (nw *Network) FaultStats() *fault.Stats {
 	return &nw.inj.Stats
 }
 
-// New builds a network instance with its own scheduler, recorder, and
-// energy meter.
-func New(spec Spec) (*Network, error) {
+// newBase constructs the scheduler-independent skeleton shared by New
+// and NewSharded: topology, placement, recorder, and routing strategy.
+func newBase(spec Spec) (*Network, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -221,14 +229,11 @@ func New(spec Spec) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched := sim.NewScheduler()
 	nw := &Network{
 		Spec:      spec,
-		Sched:     sched,
 		MoT:       m,
 		Placement: pl,
 		Rec:       metrics.NewRecorder(),
-		Meter:     power.NewMeter(sched.Now),
 	}
 	nw.Rec.SetLevels(m.Levels)
 	nw.fabric = routing.Fabric{Placement: pl, Serial: spec.Serial}
@@ -237,7 +242,31 @@ func New(spec Spec) (*Network, error) {
 		// Validate() vetted the name.
 		nw.strat, _ = routing.StrategyByName(spec.Strategy)
 	}
-	nw.emitPlan = func(p routing.Plan) { nw.planBuf = append(nw.planBuf, p) }
+	return nw, nil
+}
+
+// applySyncBackground charges the synchronous comparison point's clock
+// tree as a load-independent background power.
+func (nw *Network) applySyncBackground() {
+	if nw.Spec.SyncPeriod <= 0 {
+		return
+	}
+	nodes := float64(nw.MoT.TotalFanoutNodes() + nw.MoT.TotalFaninNodes())
+	// fJ per ps is mW: clock energy per node per cycle over the period.
+	nw.Meter.BackgroundMW = nodes * power.ClockTreeFJPerNodeCycle / float64(nw.Spec.SyncPeriod)
+}
+
+// New builds a network instance with its own scheduler, recorder, and
+// energy meter.
+func New(spec Spec) (*Network, error) {
+	nw, err := newBase(spec)
+	if err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler()
+	nw.Sched = sched
+	nw.Meter = power.NewMeter(sched.Now)
+	nw.acct.init(nw, sched, nil)
 	nw.pooling = !spec.Faults.Enabled()
 	if spec.Faults.Enabled() {
 		// The injector must exist before build(): every channel draws its
@@ -252,43 +281,30 @@ func New(spec Spec) (*Network, error) {
 	for _, st := range spec.Faults.Stuck {
 		nw.fanouts[st.Tree][st.Heap].OutputChannel(topology.Port(st.Port)).Faults.SetStuck(st.After)
 	}
-	if spec.SyncPeriod > 0 {
-		nodes := float64(m.TotalFanoutNodes() + m.TotalFaninNodes())
-		// fJ per ps is mW: clock energy per node per cycle over the period.
-		nw.Meter.BackgroundMW = nodes * power.ClockTreeFJPerNodeCycle / float64(spec.SyncPeriod)
-	}
+	nw.applySyncBackground()
 	return nw, nil
-}
-
-// allocPacket takes a packet from the per-run freelist (or the heap when
-// the list is dry) with every field zeroed.
-func (nw *Network) allocPacket() *packet.Packet {
-	if n := len(nw.pktFree); n > 0 {
-		p := nw.pktFree[n-1]
-		nw.pktFree = nw.pktFree[:n-1]
-		*p = packet.Packet{}
-		return p
-	}
-	return &packet.Packet{}
 }
 
 // releaseCopy retires one live flit copy of p (a delivery or a throttle
 // absorption). When the last copy dies the packet returns to the
-// freelist — and a serial clone's death also retires one clone reference
-// of its logical parent. Callers invoke it after all other uses of the
-// flit in the same event (recorder, meter, trace), so no recycled packet
-// is ever read through a stale flit.
+// freelist of its source tree's context — the context that allocates it
+// — and a serial clone's death also retires one clone reference of its
+// logical parent. Callers invoke it after all other uses of the flit in
+// the same event (recorder, meter, trace), so no recycled packet is ever
+// read through a stale flit.
 func (nw *Network) releaseCopy(p *packet.Packet) {
 	p.Refs--
 	if p.Refs != 0 {
 		return
 	}
 	parent := p.Parent
-	nw.pktFree = append(nw.pktFree, p)
+	fc := nw.actxFor(p.Src)
+	fc.pktFree = append(fc.pktFree, p)
 	if parent != nil {
 		parent.Refs--
 		if parent.Refs == 0 {
-			nw.pktFree = append(nw.pktFree, parent)
+			fc = nw.actxFor(parent.Src)
+			fc.pktFree = append(fc.pktFree, parent)
 		}
 	}
 }
@@ -311,9 +327,12 @@ func (nw *Network) kindFor(k int) node.Kind {
 }
 
 // channel wires a link with the standard wire delays and energy hook.
-func (nw *Network) channel(dst node.Sink, dstPort int, src node.AckTarget, srcPort int) *node.Channel {
+// The sending side's accounting context owns the channel: Send runs on
+// its shard, so both the deliver event and the traversal energy charge
+// originate there.
+func (nw *Network) channel(a *actx, dst node.Sink, dstPort int, src node.AckTarget, srcPort int) *node.Channel {
 	ch := &node.Channel{
-		Sched:    nw.Sched,
+		Sched:    a.sched,
 		FwdDelay: timing.ChannelFwd,
 		AckDelay: timing.ChannelAckFor(nw.Spec.Protocol),
 		Dst:      dst,
@@ -321,7 +340,7 @@ func (nw *Network) channel(dst node.Sink, dstPort int, src node.AckTarget, srcPo
 		Src:      src,
 		SrcPort:  srcPort,
 	}
-	ch.OnTraverse = func(packet.Flit) { nw.Meter.Channel() }
+	ch.OnTraverse = func(packet.Flit) { a.meterChannel() }
 	if nw.inj != nil {
 		ch.Faults = nw.inj.Channel()
 		nw.chans = append(nw.chans, ch)
@@ -372,10 +391,11 @@ func (nw *Network) build() {
 		fifoCap = 1
 	}
 	for t := 0; t < n; t++ {
+		a := nw.actxFor(t)
 		nw.fanouts[t] = make([]*node.Fanout, n)
 		nw.fanins[t] = make([]*node.Fanin, n)
 		for k := 1; k < n; k++ {
-			fo := node.NewFanout(nw.Sched, nw.kindFor(k), t, k, nw.Placement, fifoCap, nw.Spec.Protocol)
+			fo := node.NewFanout(a.sched, nw.kindFor(k), t, k, nw.Placement, fifoCap, nw.Spec.Protocol)
 			fo.SetDecoder(nw.decodeSym)
 			if nw.Spec.SyncPeriod > 0 {
 				fo.Clock(nw.Spec.SyncPeriod)
@@ -383,34 +403,39 @@ func (nw *Network) build() {
 			tree, heap, area := t, k, fo.Timing().AreaUm2
 			level := nw.MoT.LevelOf(k)
 			fo.OnForward = func(f packet.Flit, ports int) {
-				nw.Meter.NodeForward(area, ports)
-				nw.Rec.FanoutForwarded(level, nw.Sched.Now())
+				now := a.sched.Now()
+				a.meterForward(area, ports)
+				a.recForwarded(level, now)
 				if nw.Trace != nil {
-					nw.Trace(TraceEvent{Kind: TraceForward, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap, Ports: ports})
+					a.trace(TraceEvent{Kind: TraceForward, At: now, Flit: f, Tree: tree, Heap: heap, Ports: ports})
 				}
 				if nw.pooling {
 					// A replication turns one live copy into `ports`.
+					// Applied eagerly even when sharded: every increment
+					// of a packet's refcount happens on its source tree's
+					// shard (see shard.go).
 					f.Pkt.Refs += int32(ports - 1)
 				}
 			}
 			fo.OnAbsorb = func(f packet.Flit) {
-				nw.Meter.NodeAbsorb(area)
-				nw.Rec.FanoutThrottled(level, nw.Sched.Now())
+				now := a.sched.Now()
+				a.meterAbsorb(area)
+				a.recThrottled(level, now)
 				if nw.Trace != nil {
-					nw.Trace(TraceEvent{Kind: TraceThrottle, At: nw.Sched.Now(), Flit: f, Tree: tree, Heap: heap})
+					a.trace(TraceEvent{Kind: TraceThrottle, At: now, Flit: f, Tree: tree, Heap: heap})
 				}
 				if nw.pooling {
-					nw.releaseCopy(f.Pkt)
+					a.release(f.Pkt)
 				}
 			}
 			nw.fanouts[t][k] = fo
 
-			fi := node.NewFanin(nw.Sched, t, k, nw.Spec.Protocol)
+			fi := node.NewFanin(a.sched, t, k, nw.Spec.Protocol)
 			if nw.Spec.SyncPeriod > 0 {
 				fi.Clock(nw.Spec.SyncPeriod)
 			}
 			fiArea := fi.Timing().AreaUm2
-			fi.OnForward = func(packet.Flit) { nw.Meter.NodeForward(fiArea, 1) }
+			fi.OnForward = func(packet.Flit) { a.meterForward(fiArea, 1) }
 			nw.fanins[t][k] = fi
 		}
 		nw.sources[t] = newSourceNI(nw, t)
@@ -418,8 +443,9 @@ func (nw *Network) build() {
 	}
 	// Wire the channels.
 	for t := 0; t < n; t++ {
+		a := nw.actxFor(t)
 		// Source NI -> fanout root.
-		root := nw.channel(nw.fanouts[t][1], 0, nw.sources[t], 0)
+		root := nw.channel(a, nw.fanouts[t][1], 0, nw.sources[t], 0)
 		nw.sources[t].out = root
 		nw.fanouts[t][1].ConnectInput(root)
 		for k := 1; k < n; k++ {
@@ -427,16 +453,25 @@ func (nw *Network) build() {
 				c := nw.MoT.Child(k, p)
 				if c < n {
 					// Internal fanout link.
-					ch := nw.channel(nw.fanouts[t][c], 0, nw.fanouts[t][k], int(p))
+					ch := nw.channel(a, nw.fanouts[t][c], 0, nw.fanouts[t][k], int(p))
 					nw.fanouts[t][k].ConnectOutput(p, ch)
 					nw.fanouts[t][c].ConnectInput(ch)
 				} else {
 					// Leaf crossing: fanout tree t, leaf for dest d,
 					// enters fanin tree d at the leaf slot for source t.
+					// This is the only edge that can cross regions in a
+					// sharded build; its deliver/credit events then route
+					// through the group's mailboxes.
 					d := c - n
 					fiHeap := (n + t) / 2
 					fiPort := (n + t) % 2
-					ch := nw.channel(nw.fanins[d][fiHeap], fiPort, nw.fanouts[t][k], int(p))
+					ch := nw.channel(a, nw.fanins[d][fiHeap], fiPort, nw.fanouts[t][k], int(p))
+					if nw.shardOf != nil {
+						if st, sd := nw.shardOf[t], nw.shardOf[d]; st != sd {
+							ch.Fwd = nw.group.Cross(st, sd)
+							ch.Back = nw.group.Cross(sd, st)
+						}
+					}
 					nw.fanouts[t][k].ConnectOutput(p, ch)
 					nw.fanins[d][fiHeap].ConnectInput(fiPort, ch)
 				}
@@ -445,11 +480,11 @@ func (nw *Network) build() {
 		// Fanin internal links (leaves toward root) and root -> sink.
 		for k := n - 1; k >= 2; k-- {
 			parent, via := nw.MoT.Parent(k)
-			ch := nw.channel(nw.fanins[t][parent], int(via), nw.fanins[t][k], 0)
+			ch := nw.channel(a, nw.fanins[t][parent], int(via), nw.fanins[t][k], 0)
 			nw.fanins[t][k].ConnectOutput(ch)
 			nw.fanins[t][parent].ConnectInput(int(via), ch)
 		}
-		sinkCh := nw.channel(nw.sinks[t], 0, nw.fanins[t][1], 0)
+		sinkCh := nw.channel(a, nw.sinks[t], 0, nw.fanins[t][1], 0)
 		nw.fanins[t][1].ConnectOutput(sinkCh)
 		nw.sinks[t].in = sinkCh
 	}
@@ -472,23 +507,23 @@ func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error)
 	if dests.Empty() {
 		return nil, fmt.Errorf("network %s: empty destination set", nw.Spec.Name)
 	}
-	now := nw.Sched.Now()
-	nw.nextID++
-	p := nw.allocPacket()
-	p.ID = nw.nextID
+	a := nw.actxFor(src)
+	now := a.sched.Now()
+	p := a.allocPacket()
+	a.assignID(p)
 	p.Src = src
 	p.Dests = dests
 	p.Length = nw.Spec.PacketLen
 	p.CreatedAt = int64(now)
-	nw.Rec.PacketCreated(p, now)
+	a.recCreated(p, now)
 	if nw.Trace != nil {
-		nw.Trace(TraceEvent{Kind: TraceInject, At: now, Flit: packet.Flit{Pkt: p}})
+		a.trace(TraceEvent{Kind: TraceInject, At: now, Flit: packet.Flit{Pkt: p}})
 	}
-	nw.planBuf = nw.planBuf[:0]
-	if err := nw.strat.Plan(nw.fabric, src, dests, nw.emitPlan); err != nil {
+	a.planBuf = a.planBuf[:0]
+	if err := nw.strat.Plan(nw.fabric, src, dests, a.emitPlan); err != nil {
 		return nil, err
 	}
-	plans := nw.planBuf
+	plans := a.planBuf
 	if !nw.Spec.Serial && len(plans) == 1 && plans[0].Dests == dests {
 		p.Route = plans[0].Route
 		nw.sources[src].enqueue(p)
@@ -500,9 +535,8 @@ func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error)
 		p.Refs = int32(len(plans))
 	}
 	for i := range plans {
-		nw.nextID++
-		clone := nw.allocPacket()
-		clone.ID = nw.nextID
+		clone := a.allocPacket()
+		a.assignID(clone)
 		clone.Src = src
 		clone.Dests = plans[i].Dests
 		clone.Length = nw.Spec.PacketLen
@@ -620,6 +654,7 @@ const (
 // in Packet.TxSlot, so a steady-state transaction allocates nothing.
 type SourceNI struct {
 	nw    *Network
+	a     *actx
 	src   int
 	out   *node.Channel
 	queue pool.Ring[packet.Flit]
@@ -644,7 +679,7 @@ type txState struct {
 }
 
 func newSourceNI(nw *Network, src int) *SourceNI {
-	return &SourceNI{nw: nw, src: src, txOn: nw.inj != nil}
+	return &SourceNI{nw: nw, a: nw.actxFor(src), src: src, txOn: nw.inj != nil}
 }
 
 func (ni *SourceNI) enqueue(p *packet.Packet) {
@@ -675,7 +710,7 @@ func (ni *SourceNI) pushFlits(p *packet.Packet, attempt int) {
 // arm schedules the retransmission timer for the packet's next attempt.
 func (ni *SourceNI) arm(slot int32, st *txState) {
 	cfg := ni.nw.inj.Config()
-	st.timer = ni.nw.Sched.In(sim.Time(cfg.BackoffPs(st.attempts+1)), ni,
+	st.timer = ni.a.sched.In(sim.Time(cfg.BackoffPs(st.attempts+1)), ni,
 		int64(slot)<<8|evNITimeout)
 }
 
@@ -692,9 +727,9 @@ func (ni *SourceNI) timeout(slot int32) {
 		ni.txSlab.Free(pkt.TxSlot)
 		// Release the recorder's per-packet tracking state: the packet
 		// can never complete, and soak runs must not accumulate it.
-		ni.nw.Rec.PacketLost(pkt, ni.nw.Sched.Now())
+		ni.nw.Rec.PacketLost(pkt, ni.a.sched.Now())
 		if ni.nw.Trace != nil {
-			ni.nw.Trace(TraceEvent{Kind: TraceDrop, At: ni.nw.Sched.Now(),
+			ni.nw.Trace(TraceEvent{Kind: TraceDrop, At: ni.a.sched.Now(),
 				Flit: packet.Flit{Pkt: pkt, Attempt: attempts}})
 		}
 		return
@@ -702,7 +737,7 @@ func (ni *SourceNI) timeout(slot int32) {
 	st.attempts++
 	stats.Retries++
 	if ni.nw.Trace != nil {
-		ni.nw.Trace(TraceEvent{Kind: TraceRetransmit, At: ni.nw.Sched.Now(),
+		ni.nw.Trace(TraceEvent{Kind: TraceRetransmit, At: ni.a.sched.Now(),
 			Flit: packet.Flit{Pkt: st.pkt, Attempt: st.attempts}})
 	}
 	ni.pushFlits(st.pkt, st.attempts)
@@ -720,7 +755,7 @@ func (ni *SourceNI) confirm(h pool.Handle, dest int) {
 	}
 	st.outstanding &^= packet.Dest(dest)
 	if st.outstanding.Empty() {
-		ni.nw.Sched.Cancel(st.timer)
+		ni.a.sched.Cancel(st.timer)
 		ni.txSlab.Free(h)
 	}
 }
@@ -731,13 +766,13 @@ func (ni *SourceNI) pump() {
 	}
 	f := ni.queue.Pop()
 	ni.busy = true
-	ni.nw.Meter.Interface()
+	ni.a.meterInterface()
 	ni.out.Send(f)
 }
 
 // OnAck implements node.AckTarget: the root channel returned its ack.
 func (ni *SourceNI) OnAck(int) {
-	ni.nw.Sched.In(timing.NICycle, ni, evNIPump)
+	ni.a.sched.In(timing.NICycle, ni, evNIPump)
 }
 
 // OnEvent implements sim.Handler: the source interface's timer events.
@@ -759,6 +794,7 @@ func (ni *SourceNI) OnEvent(arg int64) {
 // every flit has landed clean.
 type SinkNI struct {
 	nw   *Network
+	a    *actx
 	dest int
 	in   *node.Channel
 
@@ -790,7 +826,7 @@ type endAck struct {
 }
 
 func newSinkNI(nw *Network, dest int) *SinkNI {
-	return &SinkNI{nw: nw, dest: dest, rxOn: nw.inj != nil}
+	return &SinkNI{nw: nw, a: nw.actxFor(dest), dest: dest, rxOn: nw.inj != nil}
 }
 
 // rxStateFor returns the receive progress for packet id, creating it on
@@ -817,23 +853,23 @@ func (ni *SinkNI) OnEvent(arg int64) {
 
 // OnFlit implements node.Sink.
 func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
-	now := ni.nw.Sched.Now()
-	ni.nw.Meter.Interface()
+	now := ni.a.sched.Now()
+	ni.a.meterInterface()
 	if !ni.rxOn {
 		// Fault layer disabled: the legacy path, bit-identical to the
 		// pre-fault model.
-		ni.nw.Rec.FlitDelivered(now)
+		ni.a.recDelivered(now)
 		if f.IsHeader() {
-			ni.nw.Rec.HeaderArrived(f.Pkt, ni.dest, now)
+			ni.a.recHeader(f.Pkt, ni.dest, now)
 		}
 		if ni.nw.Trace != nil {
-			ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
+			ni.a.trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
 		}
-		ni.nw.Sched.In(timing.SinkAck, ni, evSinkConsume)
+		ni.a.sched.In(timing.SinkAck, ni, evSinkConsume)
 		if ni.nw.pooling {
 			// Last use of the flit in this event: recorder, trace, and
 			// ack are done, so the delivered copy can retire.
-			ni.nw.releaseCopy(f.Pkt)
+			ni.a.release(f.Pkt)
 		}
 		return
 	}
@@ -843,7 +879,7 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	if ni.nw.Trace != nil {
 		ni.nw.Trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
 	}
-	ni.nw.Sched.In(timing.SinkAck, ni, evSinkConsume)
+	ni.a.sched.In(timing.SinkAck, ni, evSinkConsume)
 	if !f.CheckCRC() {
 		return // corrupted in flight; recovered by retransmission
 	}
@@ -863,6 +899,6 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	if !st.acked && st.got == uint64(1)<<uint(f.Pkt.Length)-1 {
 		st.acked = true
 		ni.acks.Push(endAck{src: f.Pkt.Src, h: f.Pkt.TxSlot})
-		ni.nw.Sched.In(sim.Time(ni.nw.inj.Config().AckDelayPs), ni, evSinkEndAck)
+		ni.a.sched.In(sim.Time(ni.nw.inj.Config().AckDelayPs), ni, evSinkEndAck)
 	}
 }

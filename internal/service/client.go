@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"asyncnoc/internal/core"
@@ -66,6 +67,13 @@ type Client struct {
 	MaxAttempts int
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Rand, when set, supplies the backoff jitter from a per-instance
+	// source (deterministic tests, seeded replay) instead of the
+	// process-global one. Accesses are serialized internally, so the
+	// client stays safe for concurrent use either way.
+	Rand *rand.Rand
+
+	randMu sync.Mutex
 }
 
 // NewClient returns a client for the server at baseURL with default
@@ -203,7 +211,7 @@ func (c *Client) retry(ctx context.Context, send func() (*http.Response, error),
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, backoffDelay(attempt-1, base, max, lastErr)); err != nil {
+			if err := sleep(ctx, c.backoffDelay(attempt-1, base, max, lastErr)); err != nil {
 				return err
 			}
 		}
@@ -247,20 +255,31 @@ func decodeResponse(resp *http.Response, out any) *APIError {
 		e = ErrorResponse{Kind: "http", Error: strings.TrimSpace(string(data))}
 	}
 	apiErr := &APIError{Status: resp.StatusCode, Kind: e.Kind, Msg: e.Error}
-	if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+	if ra := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ra > 0 {
 		apiErr.retryAfter = ra
 	}
 	return apiErr
 }
 
-// retryAfter carries the server's Retry-After hint through to the
-// backoff computation.
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter decodes a Retry-After header into the wait it asks
+// for, relative to now. RFC 9110 allows both forms — delta-seconds and
+// an HTTP-date (http.TimeFormat and its obsolete variants) — and a
+// hint in the past or otherwise non-positive clamps to 0 (no wait):
+// a stale date means "come back now", never "never".
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
 		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
 	}
 	return 0
 }
@@ -268,12 +287,12 @@ func parseRetryAfter(v string) time.Duration {
 // backoffDelay computes the sleep before retry number attempt (0-based):
 // capped exponential with jitter in [50%, 100%], raised to the server's
 // Retry-After hint when that is longer (but still capped).
-func backoffDelay(attempt int, base, max time.Duration, lastErr error) time.Duration {
+func (c *Client) backoffDelay(attempt int, base, max time.Duration, lastErr error) time.Duration {
 	d := base << uint(attempt)
 	if d > max || d <= 0 { // <= 0: shift overflow
 		d = max
 	}
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	d = d/2 + time.Duration(c.jitter(int64(d/2)+1))
 	var apiErr *APIError
 	if errors.As(lastErr, &apiErr) && apiErr.retryAfter > d {
 		d = apiErr.retryAfter
@@ -282,6 +301,17 @@ func backoffDelay(attempt int, base, max time.Duration, lastErr error) time.Dura
 		}
 	}
 	return d
+}
+
+// jitter draws a uniform value in [0, n) from the client's injected
+// source when one is set, else from the process-global one.
+func (c *Client) jitter(n int64) int64 {
+	if c.Rand == nil {
+		return rand.Int63n(n)
+	}
+	c.randMu.Lock()
+	defer c.randMu.Unlock()
+	return c.Rand.Int63n(n)
 }
 
 // sleep waits for d or until ctx is done, whichever is first.

@@ -326,8 +326,11 @@ func writeError(w http.ResponseWriter, status int, kind, msg string) {
 	writeJSON(w, status, ErrorResponse{Kind: kind, Error: msg})
 }
 
+// retryAfterSeconds renders a Retry-After header value, rounding up so
+// the hint never under-promises: a 1.9s backlog must not advertise "1"
+// and invite clients back while the server is still shedding.
 func retryAfterSeconds(d time.Duration) string {
-	secs := int(d / time.Second)
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -103,6 +104,7 @@ func TestServiceSheddingAndClientRetry(t *testing.T) {
 	var srv *Server
 	srv, c, _ := newTestService(t, func(s *Server) {
 		s.MaxQueue = 1
+		s.RetryAfter = 1900 * time.Millisecond // fractional: the header must round up
 		s.Engine.SetRemote(func(_ context.Context, spec network.Spec, cfg core.RunConfig) (core.RunResult, error) {
 			<-release
 			return core.RunResult{Network: spec.Name, Benchmark: cfg.Bench.Name(), LoadGFs: cfg.LoadGFs}, nil
@@ -136,8 +138,10 @@ func TestServiceSheddingAndClientRetry(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After hint")
+	// The hint must be the ceiling of the configured 1.9s, not the
+	// truncation: "1" would invite clients back while still shedding.
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("429 Retry-After = %q, want %q (ceiling of 1.9s)", got, "2")
 	}
 	var e ErrorResponse
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Kind != ErrKindShed {
@@ -344,10 +348,11 @@ func TestClientRemoteMatchesLocal(t *testing.T) {
 // TestBackoffDelayPolicy: capped exponential with jitter in [50%, 100%],
 // raised to the server's Retry-After hint but never past the cap.
 func TestBackoffDelayPolicy(t *testing.T) {
+	c := new(Client)
 	base, max := 100*time.Millisecond, time.Second
 	for attempt := 0; attempt < 12; attempt++ {
 		for i := 0; i < 50; i++ {
-			d := backoffDelay(attempt, base, max, nil)
+			d := c.backoffDelay(attempt, base, max, nil)
 			full := base << uint(attempt)
 			if full > max || full <= 0 {
 				full = max
@@ -358,11 +363,74 @@ func TestBackoffDelayPolicy(t *testing.T) {
 		}
 	}
 	hint := &APIError{Status: 429, retryAfter: 10 * time.Second}
-	if d := backoffDelay(0, base, max, hint); d != max {
+	if d := c.backoffDelay(0, base, max, hint); d != max {
 		t.Fatalf("Retry-After hint not capped: %v, want %v", d, max)
 	}
 	short := &APIError{Status: 429, retryAfter: time.Millisecond}
-	if d := backoffDelay(3, base, max, short); d < (base<<3)/2 {
+	if d := c.backoffDelay(3, base, max, short); d < (base<<3)/2 {
 		t.Fatalf("short Retry-After lowered the backoff: %v", d)
+	}
+}
+
+// TestBackoffDeterministicWithInjectedRand: a client carrying its own
+// seeded jitter source produces a reproducible backoff sequence, and
+// two equally seeded clients agree delay for delay.
+func TestBackoffDeterministicWithInjectedRand(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	seq := func() []time.Duration {
+		c := &Client{Rand: rand.New(rand.NewSource(42))}
+		var ds []time.Duration
+		for attempt := 0; attempt < 8; attempt++ {
+			ds = append(ds, c.backoffDelay(attempt, base, max, nil))
+		}
+		return ds
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v != %v; equally seeded clients diverged", i, a[i], b[i])
+		}
+		full := base << uint(i)
+		if full > max || full <= 0 {
+			full = max
+		}
+		if a[i] < full/2 || a[i] > full {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, a[i], full/2, full)
+		}
+	}
+	other := &Client{Rand: rand.New(rand.NewSource(43))}
+	diverged := false
+	for attempt := 0; attempt < 8; attempt++ {
+		if other.backoffDelay(attempt, base, max, nil) != a[attempt] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("differently seeded clients produced identical jitter sequences")
+	}
+}
+
+// TestParseRetryAfterForms: both RFC 9110 forms decode — delta-seconds
+// and HTTP-date — and anything non-positive, past, or malformed clamps
+// to 0 (no extra wait).
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0}, // negative delta clamps, never becomes a huge uint
+		{now.Add(90 * time.Second).UTC().Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).UTC().Format(http.TimeFormat), 0}, // stale date = come back now
+		{"Wed, 32 Feb 2026 99:99:99 GMT", 0},                     // malformed date
+		{"soon", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
 	}
 }

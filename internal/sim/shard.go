@@ -1,0 +1,523 @@
+// Sharded conservative-lookahead execution (Chandy–Misra style PDES).
+//
+// A ShardGroup drives K schedulers in bounded time windows. Each window
+// covers [minNext, minNext+lookahead) of simulated time, where minNext is
+// the earliest pending event anywhere and lookahead is the minimum
+// cross-shard delay: every event a shard creates for another shard lands
+// at least `lookahead` after its creation time, so nothing created during
+// a window can retroactively belong inside it. Shards therefore execute
+// their windows concurrently, exchanging cross-shard events through
+// per-pair mailboxes that the coordinator drains at the window barrier.
+//
+// Determinism — the group reproduces the serial scheduler's dispatch
+// sequence EXACTLY, not just approximately:
+//
+//   - The serial scheduler orders simultaneous events by creation order
+//     (the monotone seq counter). Creation order is equivalent to the
+//     lexicographic pair (creator's global dispatch ordinal, child index
+//     within that dispatch): a dispatch creates its children back to
+//     back, and dispatches themselves are totally ordered.
+//   - Sharded events therefore carry a composite sequence
+//     creatorOrd<<childBits | childIdx. During a window the creator's
+//     global ordinal is not yet known, so children are stamped with a
+//     provisional ordinal (provBase + local dispatch index); provBase
+//     exceeds every resolvable ordinal, which is exactly the right
+//     tie-break inside the window (everything created this window was
+//     created after everything already queued).
+//   - At the barrier the per-shard dispatch logs are k-way merged by
+//     (at, seq) into the global serial order, assigning each dispatch its
+//     dense global ordinal. Provisional creator references resolve during
+//     the merge: a creator always precedes its children in its own
+//     shard's log. Pending events and mailbox entries stamped with
+//     provisional ordinals are then rewritten to their resolved values
+//     (a pure key decrease — one siftUp each), so the next window
+//     compares only resolved sequences.
+//
+// The merged order also drives the ReplayFunc callback, through which a
+// client (the network layer) applies order-sensitive side effects —
+// floating-point energy accumulation, latency recording, trace emission,
+// pool releases — in exact serial order, keeping run results and traces
+// byte-identical at any shard count.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+const (
+	// childBits is the width of the per-dispatch child index in a
+	// composite sequence number.
+	childBits = 20
+	childMask = 1<<childBits - 1
+	// provBase is the provisional creator-ordinal base. It exceeds every
+	// resolved ordinal (guarded in mergeReplay), so provisional sequences
+	// sort after all resolved ones — the correct within-window tie-break.
+	provBase uint64 = 1 << 40
+)
+
+// ReplayFunc observes every dispatch in merged global serial order at
+// each window barrier: shard is the dispatching shard, dispatchIdx its
+// index in that shard's window-local dispatch log. The network layer uses
+// it to apply deferred side effects in exact serial order.
+type ReplayFunc func(shard int, dispatchIdx int)
+
+// dispatchStamp is one entry of a shard's window-local dispatch log.
+type dispatchStamp struct {
+	at  Time
+	seq uint64 // composite; creator may still be provisional
+}
+
+// freshRef remembers a slot that received a provisional sequence this
+// window so the barrier can rewrite it. The generation detects slots
+// already dispatched (and possibly recycled) within the window.
+type freshRef struct {
+	idx int32
+	gen uint32
+}
+
+// shardState is the per-scheduler sharding context, present only on
+// schedulers owned by a ShardGroup.
+type shardState struct {
+	group *ShardGroup
+	idx   int
+
+	// dlog records this window's dispatches in execution order; resolved
+	// holds each one's merged global ordinal (filled at the barrier,
+	// index-aligned with dlog).
+	dlog     []dispatchStamp
+	resolved []uint64
+	fresh    []freshRef
+
+	// curDispatch indexes the in-flight dispatch in dlog (-1 outside a
+	// dispatch); childIdx counts events it has created.
+	curDispatch int
+	childIdx    uint32
+
+	// merge-cursor state (coordinator only).
+	cursor  int
+	headAt  Time
+	headSeq uint64
+}
+
+// stampSeq assigns the composite sequence for an event created now.
+func (sh *shardState) stampSeq() uint64 {
+	if sh.curDispatch < 0 {
+		// Genesis (pre-run build) event: creator ordinal 0, group-global
+		// creation index — build order is serial creation order.
+		g := sh.group
+		if g.started {
+			panic("sim: event scheduled outside a dispatch after the sharded run started")
+		}
+		ci := g.genesisIdx
+		g.genesisIdx++
+		if ci >= childMask {
+			panic("sim: genesis event index overflow")
+		}
+		return ci
+	}
+	ci := sh.childIdx
+	sh.childIdx++
+	if ci >= childMask {
+		panic(fmt.Sprintf("sim: dispatch created %d events (child index overflow)", ci))
+	}
+	return (provBase+uint64(sh.curDispatch))<<childBits | uint64(ci)
+}
+
+// beginDispatch opens a dispatch-log entry for the event about to run.
+func (sh *shardState) beginDispatch(at Time, seq uint64) {
+	sh.dlog = append(sh.dlog, dispatchStamp{at: at, seq: seq})
+	sh.curDispatch = len(sh.dlog) - 1
+	sh.childIdx = 0
+}
+
+// loadHead caches the merge cursor's next entry with its creator
+// reference resolved. Safe even for zero-delay chains: an in-window
+// creator always dispatched earlier in the same shard's log, so its
+// resolved ordinal is already assigned when its child reaches the head.
+func (sh *shardState) loadHead() {
+	if sh.cursor >= len(sh.dlog) {
+		return
+	}
+	r := sh.dlog[sh.cursor]
+	if c := r.seq >> childBits; c >= provBase {
+		r.seq = sh.resolved[c-provBase]<<childBits | r.seq&childMask
+	}
+	sh.headAt, sh.headSeq = r.at, r.seq
+}
+
+// remoteEvent is one cross-shard event awaiting barrier delivery.
+type remoteEvent struct {
+	at  Time
+	seq uint64
+	h   Handler
+	arg int64
+}
+
+// mailbox is a single-writer buffer of cross-shard events: the sending
+// shard appends during its window, the coordinator drains at the barrier.
+// The window barrier separates the two, so no lock is needed, and the
+// backlog is bounded by the number of cross-shard channels (each holds at
+// most one in-flight transfer per direction).
+type mailbox struct {
+	buf []remoteEvent
+}
+
+// RemoteRef is one direction of a cross-shard link. Events sent through
+// it are stamped with the sending shard's creation order and delivered
+// into the receiving shard's queue at the next window barrier.
+type RemoteRef struct {
+	from *Scheduler
+	box  *mailbox
+}
+
+// Send schedules h(arg) on the remote shard delay picoseconds from the
+// sending shard's now. The delay must be at least the group lookahead —
+// that is the conservative-execution contract.
+func (r *RemoteRef) Send(delay Time, h Handler, arg int64) {
+	g := r.from.shard.group
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard delay %v below lookahead %v", delay, g.lookahead))
+	}
+	if h == nil {
+		panic("sim: cross-shard send with nil handler")
+	}
+	r.box.buf = append(r.box.buf, remoteEvent{
+		at:  AddSat(r.from.now, delay),
+		seq: r.from.shard.stampSeq(),
+		h:   h,
+		arg: arg,
+	})
+}
+
+// worker is one shard's persistent execution goroutine.
+type worker struct {
+	start chan Time
+	done  chan any // recovered panic value, nil on success
+}
+
+// ShardGroup coordinates K schedulers executing one simulation under
+// conservative lookahead. Construct with NewShardGroup, wire cross-shard
+// links with Cross, then drive it with RunUntil; Close releases the
+// worker goroutines.
+type ShardGroup struct {
+	shards    []*Scheduler
+	lookahead Time
+	now       Time
+
+	genesisIdx uint64
+	nextOrd    uint64
+	started    bool
+	replay     ReplayFunc
+
+	// mail[dst][src] carries events from shard src to shard dst.
+	mail [][]mailbox
+
+	workers []worker
+	closed  bool
+	// executedHint mirrors the summed dispatch count at the last barrier
+	// so Executed stays readable while workers run (watchdog polling).
+	executedHint atomic.Uint64
+}
+
+// NewShardGroup returns a group of k schedulers (k >= 1) with the given
+// conservative lookahead (> 0): the minimum delay of any cross-shard
+// event.
+func NewShardGroup(k int, lookahead Time) *ShardGroup {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: shard count %d < 1", k))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: lookahead %v must be positive", lookahead))
+	}
+	g := &ShardGroup{lookahead: lookahead, nextOrd: 1}
+	g.shards = make([]*Scheduler, k)
+	g.mail = make([][]mailbox, k)
+	for i := range g.shards {
+		s := NewScheduler()
+		s.shard = &shardState{group: g, idx: i, curDispatch: -1}
+		g.shards[i] = s
+		g.mail[i] = make([]mailbox, k)
+	}
+	return g
+}
+
+// Shards returns the shard count.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Lookahead returns the group's conservative lookahead.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Shard returns shard i's scheduler. Model components owned by shard i
+// schedule their local events through it exactly as in a serial run.
+func (g *ShardGroup) Shard(i int) *Scheduler { return g.shards[i] }
+
+// Cross returns the remote reference for events flowing from shard src
+// to shard dst (e.g. the forward direction of a cross-shard channel; the
+// acknowledge direction uses Cross(dst, src)).
+func (g *ShardGroup) Cross(src, dst int) *RemoteRef {
+	if src == dst {
+		panic("sim: cross-shard reference within one shard")
+	}
+	return &RemoteRef{from: g.shards[src], box: &g.mail[dst][src]}
+}
+
+// SetReplay registers the barrier-time dispatch observer (see ReplayFunc).
+func (g *ShardGroup) SetReplay(fn ReplayFunc) { g.replay = fn }
+
+// Now returns the group's common clock (every shard's clock agrees at
+// each barrier).
+func (g *ShardGroup) Now() Time { return g.now }
+
+// Len returns the number of pending events across all shards and
+// mailboxes.
+func (g *ShardGroup) Len() int {
+	n := 0
+	for i, s := range g.shards {
+		n += s.Len()
+		for j := range g.mail[i] {
+			n += len(g.mail[i][j].buf)
+		}
+	}
+	return n
+}
+
+// Executed returns the total number of events dispatched so far.
+func (g *ShardGroup) Executed() uint64 {
+	// Between RunUntil calls the shard counters are coherent; the hint
+	// covers reads that race a window (none occur in-process, but keep
+	// the method safe).
+	var n uint64
+	for _, s := range g.shards {
+		n += s.executed
+	}
+	return n
+}
+
+// ensureWorkers lazily starts the per-shard goroutines.
+func (g *ShardGroup) ensureWorkers() {
+	if g.workers != nil {
+		return
+	}
+	if g.closed {
+		panic("sim: RunUntil on a closed ShardGroup")
+	}
+	g.workers = make([]worker, len(g.shards))
+	for i := range g.workers {
+		w := worker{start: make(chan Time), done: make(chan any)}
+		g.workers[i] = w
+		s := g.shards[i]
+		go func() {
+			for deadline := range w.start {
+				w.done <- runWindow(s, deadline)
+			}
+		}()
+	}
+}
+
+// runWindow executes one shard's window, converting a model panic into a
+// value so the coordinator can re-raise it on the driving goroutine
+// (where the run boundary's recover lives).
+func runWindow(s *Scheduler, deadline Time) (failure any) {
+	defer func() { failure = recover() }()
+	s.RunUntil(deadline)
+	return nil
+}
+
+// Close terminates the worker goroutines. The group cannot run again,
+// but its schedulers remain readable (diagnostics, collection).
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, w := range g.workers {
+		close(w.start)
+	}
+	g.workers = nil
+}
+
+// RunUntil dispatches events with timestamps <= deadline across all
+// shards in lookahead windows, then sets every clock to deadline —
+// the sharded counterpart of Scheduler.RunUntil.
+func (g *ShardGroup) RunUntil(deadline Time) {
+	g.ensureWorkers()
+	g.started = true
+	for {
+		minNext := Never
+		for _, s := range g.shards {
+			if len(s.heap) > 0 {
+				if at := s.slots[s.heap[0]].at; at < minNext {
+					minNext = at
+				}
+			}
+		}
+		if minNext > deadline {
+			for _, s := range g.shards {
+				if s.now < deadline {
+					s.now = deadline
+				}
+			}
+			if g.now < deadline {
+				g.now = deadline
+			}
+			return
+		}
+		// Window fence: cross-shard events created in this window land at
+		// >= minNext + lookahead, strictly beyond it.
+		winEnd := AddSat(minNext, g.lookahead) - 1
+		if winEnd > deadline {
+			winEnd = deadline
+		}
+		for _, w := range g.workers {
+			w.start <- winEnd
+		}
+		var failure any
+		for _, w := range g.workers {
+			if f := <-w.done; f != nil && failure == nil {
+				failure = f
+			}
+		}
+		if failure != nil {
+			panic(failure)
+		}
+		g.mergeReplay()
+		for _, s := range g.shards {
+			s.resolveFresh()
+		}
+		g.drainMail()
+		for _, s := range g.shards {
+			sh := s.shard
+			sh.dlog = sh.dlog[:0]
+			sh.curDispatch = -1
+		}
+		g.executedHint.Store(g.Executed())
+		g.now = winEnd
+		if winEnd >= deadline {
+			return
+		}
+	}
+}
+
+// mergeReplay k-way merges the window's per-shard dispatch logs by
+// (at, seq) — the global serial order — assigning dense global ordinals
+// and invoking the replay observer.
+func (g *ShardGroup) mergeReplay() {
+	total := 0
+	for _, s := range g.shards {
+		sh := s.shard
+		sh.cursor = 0
+		sh.resolved = sh.resolved[:0]
+		total += len(sh.dlog)
+		sh.loadHead()
+	}
+	for n := 0; n < total; n++ {
+		best := -1
+		var bestAt Time
+		var bestSeq uint64
+		for i, s := range g.shards {
+			sh := s.shard
+			if sh.cursor >= len(sh.dlog) {
+				continue
+			}
+			if best < 0 || sh.headAt < bestAt || (sh.headAt == bestAt && sh.headSeq < bestSeq) {
+				best, bestAt, bestSeq = i, sh.headAt, sh.headSeq
+			}
+		}
+		sh := g.shards[best].shard
+		ord := g.nextOrd
+		g.nextOrd++
+		if ord >= provBase {
+			panic("sim: dispatch ordinal overflow")
+		}
+		sh.resolved = append(sh.resolved, ord)
+		if g.replay != nil {
+			g.replay(best, sh.cursor)
+		}
+		sh.cursor++
+		sh.loadHead()
+	}
+}
+
+// resolveFresh rewrites this window's still-pending provisional sequences
+// to their resolved creator ordinals. Resolution only decreases keys
+// (provBase exceeds every resolved ordinal), so each rewrite is a single
+// decrease-key siftUp.
+func (s *Scheduler) resolveFresh() {
+	sh := s.shard
+	for _, fr := range sh.fresh {
+		sl := &s.slots[fr.idx]
+		if sl.gen != fr.gen || sl.heapIdx < 0 {
+			continue // dispatched or canceled within the window
+		}
+		c := sl.seq >> childBits
+		if c < provBase {
+			continue
+		}
+		sl.seq = sh.resolved[c-provBase]<<childBits | sl.seq&childMask
+		s.siftUp(int(sl.heapIdx))
+	}
+	sh.fresh = sh.fresh[:0]
+}
+
+// drainMail delivers the window's cross-shard events into their
+// destination queues, resolving provisional creator stamps with the
+// sending shard's resolution table.
+func (g *ShardGroup) drainMail() {
+	for dst := range g.mail {
+		row := g.mail[dst]
+		for src := range row {
+			box := &row[src]
+			if len(box.buf) == 0 {
+				continue
+			}
+			sh := g.shards[src].shard
+			for i := range box.buf {
+				e := &box.buf[i]
+				seq := e.seq
+				if c := seq >> childBits; c >= provBase {
+					seq = sh.resolved[c-provBase]<<childBits | seq&childMask
+				}
+				g.shards[dst].insertAt(e.at, seq, e.h, e.arg)
+				e.h = nil // drop the handler reference
+			}
+			box.buf = box.buf[:0]
+		}
+	}
+}
+
+// insertAt enqueues a pre-stamped event (cross-shard arrival): identical
+// to At except the sequence is supplied by the origin shard, preserving
+// global creation order.
+func (s *Scheduler) insertAt(at Time, seq uint64, h Handler, arg int64) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: cross-shard arrival at %v before now %v", at, s.now))
+	}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{gen: 1})
+		idx = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.at, sl.seq, sl.h, sl.arg = at, seq, h, arg
+	sl.heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// DispatchIndex returns the window-local index of the dispatch currently
+// executing on this shard (-1 outside a dispatch). The network layer tags
+// deferred side effects with it so the barrier replay can interleave them
+// in merged order.
+func (s *Scheduler) DispatchIndex() int {
+	if s.shard == nil {
+		return -1
+	}
+	return s.shard.curDispatch
+}
+
+// Sharded reports whether this scheduler is a ShardGroup member.
+func (s *Scheduler) Sharded() bool { return s.shard != nil }

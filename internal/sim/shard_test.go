@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The sharded-execution property: for any model whose cross-shard events
+// respect the lookahead, the ShardGroup dispatches the exact serial event
+// sequence, and its barrier replay visits every dispatch in that order.
+//
+// The synthetic model below is a random handler graph: every dispatch
+// draws from a per-node deterministic RNG to create 0–2 child events —
+// local ones with arbitrary (including zero) delay, cross-shard ones at
+// lookahead or more — and occasionally cancels its previous child.
+// Because the RNG advances per dispatch, any divergence in dispatch order
+// cascades into a completely different event pattern, so equality of the
+// logs is a strong check of the ordering machinery.
+
+const testLookahead = Time(50)
+
+// xorshift is a tiny deterministic PRNG so the test does not depend on
+// other packages.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// dispatchLogEntry records one observed dispatch.
+type dispatchLogEntry struct {
+	node int
+	arg  int64
+	at   Time
+	dIdx int // window-local dispatch index (sharded mode; -1 serial)
+}
+
+// tmodel is the shared harness driving the same logical model in serial
+// or sharded mode.
+type tmodel struct {
+	nodes   []*tnode
+	shardOf []int
+	// serial mode: sched set, group nil. Sharded: group set.
+	sched *Scheduler
+	group *ShardGroup
+	cross [][]*RemoteRef // [fromShard][toShard]
+	logs  [][]dispatchLogEntry
+}
+
+type tnode struct {
+	m      *tmodel
+	id     int
+	r      xorshift
+	budget int
+	lastID EventID
+	lastOK bool
+}
+
+func (n *tnode) sched() *Scheduler {
+	if n.m.group != nil {
+		return n.m.group.Shard(n.m.shardOf[n.id])
+	}
+	return n.m.sched
+}
+
+func (n *tnode) OnEvent(arg int64) {
+	m := n.m
+	s := n.sched()
+	shard := 0
+	dIdx := -1
+	if m.group != nil {
+		shard = m.shardOf[n.id]
+		dIdx = s.DispatchIndex()
+	}
+	m.logs[shard] = append(m.logs[shard], dispatchLogEntry{node: n.id, arg: arg, at: s.Now(), dIdx: dIdx})
+
+	if n.budget <= 0 {
+		return
+	}
+	children := int(n.r.next() % 3)
+	for c := 0; c < children && n.budget > 0; c++ {
+		n.budget--
+		target := m.nodes[n.r.next()%uint64(len(m.nodes))]
+		delay := Time(n.r.next() % 40)
+		crossShard := m.shardOf[target.id] != m.shardOf[n.id]
+		if crossShard {
+			delay += testLookahead
+		}
+		childArg := int64(n.r.next() % 1000)
+		if m.group != nil && crossShard {
+			m.cross[m.shardOf[n.id]][m.shardOf[target.id]].Send(delay, target, childArg)
+			n.lastOK = false
+		} else if crossShard {
+			// Serial mode still applies the lookahead floor (done above)
+			// so the two modes schedule identical times.
+			m.sched.In(delay, target, childArg)
+			n.lastOK = false
+		} else {
+			n.lastID = s.In(delay, target, childArg)
+			n.lastOK = true
+		}
+	}
+	if n.lastOK && n.r.next()%8 == 0 {
+		n.sched().Cancel(n.lastID)
+		n.lastOK = false
+	}
+}
+
+// buildModel wires nNodes across k shards and arms one genesis event per
+// node. The k-way partition shapes the model (cross-partition sends get
+// the lookahead delay floor) in both modes; `sharded` selects whether a
+// ShardGroup or one serial scheduler executes it, so the two modes run
+// the identical logical model.
+func buildModel(seed uint64, nNodes, k, budget int, sharded bool) *tmodel {
+	m := &tmodel{shardOf: make([]int, nNodes)}
+	shards := k
+	if !sharded {
+		shards = 1
+		m.sched = NewScheduler()
+	} else {
+		m.group = NewShardGroup(k, testLookahead)
+		m.cross = make([][]*RemoteRef, k)
+		for i := 0; i < k; i++ {
+			m.cross[i] = make([]*RemoteRef, k)
+			for j := 0; j < k; j++ {
+				if i != j {
+					m.cross[i][j] = m.group.Cross(i, j)
+				}
+			}
+		}
+	}
+	m.logs = make([][]dispatchLogEntry, shards)
+	for i := 0; i < nNodes; i++ {
+		m.shardOf[i] = i * k / nNodes
+		n := &tnode{m: m, id: i, r: xorshift(seed*1000003 + uint64(i)*7919 + 1), budget: budget}
+		m.nodes = append(m.nodes, n)
+	}
+	for i, n := range m.nodes {
+		n.sched().In(Time(1+i*3), n, int64(i))
+	}
+	return m
+}
+
+// run drives the model to quiescence in `chunks` RunUntil calls.
+func (m *tmodel) run(deadline Time, chunks int) {
+	step := deadline / Time(chunks)
+	for t := step; ; t += step {
+		if t > deadline {
+			t = deadline
+		}
+		if m.group != nil {
+			m.group.RunUntil(t)
+		} else {
+			m.sched.RunUntil(t)
+		}
+		if t >= deadline {
+			return
+		}
+	}
+}
+
+func TestShardedMatchesSerial(t *testing.T) {
+	const deadline = Time(1_000_000)
+	for _, seed := range []uint64{1, 2, 3, 17, 99} {
+		for _, k := range []int{1, 2, 3, 4} {
+			serial := buildModel(seed, 9, k, 40, false)
+			serial.run(deadline, 1)
+			want := serial.logs[0]
+			if len(want) == 0 {
+				t.Fatalf("seed %d: serial model dispatched nothing", seed)
+			}
+			for _, chunks := range []int{1, 3} {
+				t.Run(fmt.Sprintf("seed=%d/shards=%d/chunks=%d", seed, k, chunks), func(t *testing.T) {
+					m := buildModel(seed, 9, k, 40, true)
+					defer m.group.Close()
+
+					// Reconstruct the global order from the replay callback.
+					var merged []dispatchLogEntry
+					rcur := make([]int, k)
+					m.group.SetReplay(func(shard, dIdx int) {
+						e := m.logs[shard][rcur[shard]]
+						if e.dIdx != dIdx {
+							t.Fatalf("replay(%d, %d): log cursor holds dIdx %d", shard, dIdx, e.dIdx)
+						}
+						rcur[shard]++
+						merged = append(merged, e)
+					})
+					m.run(deadline, chunks)
+
+					if got, want := m.group.Executed(), uint64(len(want)); got != want {
+						t.Fatalf("executed %d events, serial executed %d", got, want)
+					}
+					total := 0
+					for s := range m.logs {
+						total += len(m.logs[s])
+						if rcur[s] != len(m.logs[s]) {
+							t.Fatalf("shard %d: replay visited %d of %d dispatches", s, rcur[s], len(m.logs[s]))
+						}
+					}
+					if total != len(want) {
+						t.Fatalf("sharded dispatched %d events, serial %d", total, len(want))
+					}
+					for i := range merged {
+						g, w := merged[i], want[i]
+						if g.node != w.node || g.arg != w.arg || g.at != w.at {
+							t.Fatalf("dispatch %d: sharded (node=%d arg=%d at=%v), serial (node=%d arg=%d at=%v)",
+								i, g.node, g.arg, g.at, w.node, w.arg, w.at)
+						}
+					}
+					if m.group.Now() != deadline {
+						t.Fatalf("group clock %v, want %v", m.group.Now(), deadline)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestShardGroupIdle(t *testing.T) {
+	g := NewShardGroup(3, 10)
+	defer g.Close()
+	g.RunUntil(500)
+	if g.Now() != 500 {
+		t.Fatalf("idle group clock %v, want 500", g.Now())
+	}
+	for i := 0; i < 3; i++ {
+		if got := g.Shard(i).Now(); got != 500 {
+			t.Fatalf("shard %d clock %v, want 500", i, got)
+		}
+	}
+	if g.Len() != 0 || g.Executed() != 0 {
+		t.Fatalf("idle group: Len=%d Executed=%d", g.Len(), g.Executed())
+	}
+}
+
+func TestCrossShardLookaheadViolationPanics(t *testing.T) {
+	g := NewShardGroup(2, 50)
+	defer g.Close()
+	ref := g.Cross(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard send below lookahead did not panic")
+		}
+	}()
+	ref.Send(49, &funcEvent{fn: func() {}}, 0)
+}
+

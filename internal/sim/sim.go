@@ -145,6 +145,10 @@ type Scheduler struct {
 	executed uint64
 	// stopped is set by Stop and cleared by the run loops on entry.
 	stopped bool
+	// shard is the sharded-execution context, non-nil only on schedulers
+	// owned by a ShardGroup (see shard.go). Serial schedulers never touch
+	// it beyond one nil check per At/step.
+	shard *shardState
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -182,8 +186,18 @@ func (s *Scheduler) At(at Time, h Handler, arg int64) EventID {
 		idx = int32(len(s.slots) - 1)
 	}
 	sl := &s.slots[idx]
-	sl.at, sl.seq, sl.h, sl.arg = at, s.nextSeq, h, arg
-	s.nextSeq++
+	sl.at, sl.h, sl.arg = at, h, arg
+	if sh := s.shard; sh != nil {
+		// Composite creation-order stamp; provisional stamps are recorded
+		// for rewriting at the window barrier.
+		sl.seq = sh.stampSeq()
+		if sl.seq>>childBits >= provBase {
+			sh.fresh = append(sh.fresh, freshRef{idx: idx, gen: sl.gen})
+		}
+	} else {
+		sl.seq = s.nextSeq
+		s.nextSeq++
+	}
 	sl.heapIdx = int32(len(s.heap))
 	s.heap = append(s.heap, idx)
 	s.siftUp(len(s.heap) - 1)
@@ -351,6 +365,9 @@ func (s *Scheduler) step() bool {
 	}
 	sl := &s.slots[idx]
 	s.now = sl.at
+	if sh := s.shard; sh != nil {
+		sh.beginDispatch(sl.at, sl.seq)
+	}
 	h, arg := sl.h, sl.arg
 	// Release before dispatch: a self-rescheduling handler chain then
 	// recycles one slot forever instead of walking the slab.

@@ -1,0 +1,83 @@
+package asyncnoc_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"asyncnoc"
+)
+
+// Sharded runs are a pure execution-strategy choice: the same (spec,
+// config) pair must produce byte-identical results and JSONL traces at
+// any shard count. This pins that contract across every architecture
+// and routing strategy at shards 1, 2, 4, and 8.
+
+func shardDetCfg(n int) asyncnoc.RunConfig {
+	return asyncnoc.RunConfig{
+		Bench:   asyncnoc.MulticastFraction(n, 0.10),
+		LoadGFs: 0.4,
+		Seed:    2016,
+		Warmup:  100 * asyncnoc.Nanosecond,
+		Measure: 300 * asyncnoc.Nanosecond,
+		Drain:   300 * asyncnoc.Nanosecond,
+	}
+}
+
+// tracedRun executes one instrumented run at the given shard count and
+// returns the result plus the full JSONL trace.
+func tracedRun(t *testing.T, spec asyncnoc.NetworkSpec, shards int) (asyncnoc.RunResult, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := shardDetCfg(spec.N)
+	cfg.Shards = shards
+	cfg.Instruments = []asyncnoc.Instrument{&asyncnoc.TraceInstrument{Out: &buf}}
+	res, err := asyncnoc.Run(spec, cfg)
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", spec.Name, shards, err)
+	}
+	return res, buf.Bytes()
+}
+
+func TestShardDeterminismAcrossArchitecturesAndStrategies(t *testing.T) {
+	const n = 8
+	var specs []asyncnoc.NetworkSpec
+	for _, spec := range asyncnoc.AllNetworks(n) {
+		specs = append(specs, spec)
+		for _, strat := range asyncnoc.StrategyNames() {
+			specs = append(specs, asyncnoc.WithStrategy(spec, strat))
+		}
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			wantRes, wantTrace := tracedRun(t, spec, 1)
+			if len(wantTrace) == 0 {
+				t.Fatal("serial reference produced an empty trace")
+			}
+			for _, k := range []int{2, 4, 8} {
+				gotRes, gotTrace := tracedRun(t, spec, k)
+				if gotRes != wantRes {
+					t.Errorf("shards=%d result diverged:\n got %+v\nwant %+v", k, gotRes, wantRes)
+				}
+				if !bytes.Equal(gotTrace, wantTrace) {
+					t.Errorf("shards=%d trace differs from serial (%d vs %d bytes): %s",
+						k, len(gotTrace), len(wantTrace), firstTraceDiff(gotTrace, wantTrace))
+				}
+			}
+		})
+	}
+}
+
+// firstTraceDiff points at the first JSONL line where two traces part.
+func firstTraceDiff(got, want []byte) string {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("line %d: got %q want %q", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("line count %d vs %d", len(g), len(w))
+}
