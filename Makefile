@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke service-smoke fuzz-smoke test-routing shard-determinism ci experiments clean
+.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke service-smoke fuzz-smoke test-routing shard-determinism chiplet-smoke chiplet-scale ci experiments clean
 
 all: build
 
@@ -74,9 +74,10 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem ./internal/sim | tee bin/bench_kernel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkNITransaction|BenchmarkStrategy' -benchmem ./internal/network | tee bin/bench_ni.txt
 	ASYNCNOC_WORKERS=1 $(GO) test -run '^$$' -bench 'BenchmarkFig6aLatency' -benchtime 1x -benchmem . | tee bin/bench_fig6a.txt
-	./bin/benchguard -baseline bench/baseline.json $(BENCHGUARD_FLAGS) bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt
+	ASYNCNOC_WORKERS=1 $(GO) test -run '^$$' -bench 'BenchmarkChipletHierarchy' -benchtime 1x -benchmem . | tee bin/bench_chiplet.txt
+	./bin/benchguard -baseline bench/baseline.json $(BENCHGUARD_FLAGS) bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt bin/bench_chiplet.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
-		benchstat bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt; \
+		benchstat bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt bin/bench_chiplet.txt; \
 	fi
 
 # service-smoke exercises simulation-as-a-service end to end: asyncnocd
@@ -115,11 +116,35 @@ test-routing:
 shard-determinism:
 	$(GO) test -run TestShardDeterminism -count=1 .
 
+# chiplet-smoke runs the hierarchical composition end to end: the golden
+# 2x2-of-4x4 table and the composed shard-determinism contract (all five
+# routing schemes at 1/2/4 shards), then a motsim run of the same
+# composition traced at 1 and 4 shards with cmp proving the trace — and
+# therefore the whole composed simulation, die-to-die crossings
+# included — is byte-identical at any shard count.
+chiplet-smoke:
+	@mkdir -p bin
+	$(GO) test -run 'TestChipletGolden2x2of4x4|TestChipletShardDeterminism' -count=1 .
+	$(GO) build -o bin/motsim ./cmd/motsim
+	./bin/motsim -topology chiplet:2x2 -n 4 -bench Multicast10 -load 0.3 -seed 2016 \
+		-warmup 100 -measure 300 -drain 600 -shards 1 -trace-out bin/chiplet_s1.jsonl >/dev/null
+	./bin/motsim -topology chiplet:2x2 -n 4 -bench Multicast10 -load 0.3 -seed 2016 \
+		-warmup 100 -measure 300 -drain 600 -shards 4 -trace-out bin/chiplet_s4.jsonl >/dev/null
+	cmp bin/chiplet_s1.jsonl bin/chiplet_s4.jsonl
+	@echo "chiplet-smoke: 2x2-of-4x4 golden table locked; composed trace byte-identical at 1 and 4 shards"
+
+# chiplet-scale is the paper-scale composed deliverable (manual; takes
+# minutes): an 8x8 interposer mesh of 8x8 MoT dies — 4096 terminals —
+# under all five routing strategies, byte-identical at 1/2/4/8 shards,
+# with the per-hierarchy-level table logged.
+chiplet-scale:
+	ASYNCNOC_SCALE=1 $(GO) test -run TestChipletScale8x8of8x8 -count=1 -timeout 60m -v .
+
 # ci is the gate: vet, build, the full suite under the race detector
 # (engine determinism, property, and fault-layer tests included), the
 # fault soak, the observability smoke, the hot-path benchmark guard, the
 # service and store-fuzz smokes, and the optional static analyzers.
-ci: vet build test-routing shard-determinism race soak obs-smoke bench-smoke service-smoke fuzz-smoke lint vuln
+ci: vet build test-routing shard-determinism chiplet-smoke race soak obs-smoke bench-smoke service-smoke fuzz-smoke lint vuln
 
 # experiments regenerates the paper's tables at CI scale.
 experiments:

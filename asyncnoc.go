@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 
+	"asyncnoc/internal/chiplet"
 	"asyncnoc/internal/core"
 	"asyncnoc/internal/fault"
 	"asyncnoc/internal/mesh"
@@ -355,17 +356,6 @@ func NewNetwork(spec NetworkSpec) (*Network, error) { return network.New(spec) }
 // VCDRecorder dumps handshake activity as an IEEE 1364 Value Change Dump.
 type VCDRecorder = network.VCDRecorder
 
-// AttachVCD instruments a built network to dump its request toggles,
-// throttles, and deliveries as a VCD waveform; call Close on the returned
-// recorder after the run.
-//
-// Deprecated: set RunConfig.Instruments = []Instrument{&VCDInstrument{Out: out}}
-// instead; the instrument surface works through every run entry point
-// without dropping down to Build/Collect.
-func AttachVCD(nw *Network, out io.Writer) (*VCDRecorder, error) {
-	return network.AttachVCD(nw, out)
-}
-
 // Collect extracts measurements from a finished instrumented run.
 func Collect(nw *Network, cfg RunConfig) RunResult { return core.Collect(nw, cfg) }
 
@@ -400,6 +390,54 @@ func MeshSaturation(spec MeshSpec, cfg SatConfig) (SatResult, error) {
 	return mesh.Saturation(spec, cfg)
 }
 
+// TopologySpec is the unified construction contract every network
+// description implements: NetworkSpec (a single MoT die or a chiplet
+// composition of dies) and MeshSpec (the 2D-mesh substrate). It exposes
+// the shared geometry and partitioning surface — terminal count,
+// canonical memo key, shard limits — so harnesses accept any topology
+// through one parameter.
+type TopologySpec = topology.TopologySpec
+
+// ChipletParams describes the interposer of a mesh-of-MoT-chiplets
+// composition: W x H dies on a NoI mesh, with die-to-die channels
+// either serial (SerialFactor beats per flit) or flit-parallel, and
+// their own per-beat delay and energy constants.
+type ChipletParams = chiplet.Params
+
+// ChipletSerial returns a w x h interposer with serialized (narrow)
+// die-to-die channels — the default off-chip assumption.
+func ChipletSerial(w, h int) *ChipletParams { return chiplet.Default(w, h) }
+
+// ChipletParallel returns a w x h interposer with full-width die-to-die
+// channels (one beat per flit).
+func ChipletParallel(w, h int) *ChipletParams { return chiplet.Parallel(w, h) }
+
+// WithChiplet composes a single-die architecture into a mesh of
+// identical dies behind the given interposer; the reporting name gains
+// an "@WxHofN" suffix. A nil p returns the spec unchanged.
+func WithChiplet(s NetworkSpec, p *ChipletParams) NetworkSpec { return core.WithChiplet(s, p) }
+
+// ChipletBenchmarkByName resolves a hierarchical benchmark (one local
+// destination mask per die) by reporting name: UniformRandom,
+// Multicast5, or Multicast10 over the composed destination space.
+func ChipletBenchmarkByName(p *ChipletParams, dieN int, name string) (Benchmark, error) {
+	return chiplet.ByName(p, dieN, name)
+}
+
+// RunTopology executes one simulation over the unified TopologySpec
+// surface, dispatching to the matching engine: Run for NetworkSpec
+// (single-die or chiplet-composed), RunMesh for MeshSpec.
+func RunTopology(ts TopologySpec, cfg RunConfig) (RunResult, error) {
+	switch s := ts.(type) {
+	case NetworkSpec:
+		return core.Run(s, cfg)
+	case MeshSpec:
+		return mesh.Run(s, cfg)
+	default:
+		return RunResult{}, fmt.Errorf("asyncnoc: unsupported topology spec %T", ts)
+	}
+}
+
 // Injection is one entry of an explicit traffic schedule.
 type Injection = core.Injection
 
@@ -432,27 +470,11 @@ func RunSeeds(spec NetworkSpec, cfg RunConfig, seeds []uint64) (Replicated, erro
 // local the speculation waste stays (the paper's "small local regions").
 type Utilization = network.Utilization
 
-// AttachUtilization instruments a built network with per-level activity
-// counters (chains any existing Trace callback).
-//
-// Deprecated: set RunConfig.Instruments = []Instrument{&UtilizationInstrument{}}
-// instead and read its U field after the run.
-func AttachUtilization(nw *Network) *Utilization { return network.AttachUtilization(nw) }
-
 // TraceSink streams a network's flit-lifecycle events as deterministic
 // JSON Lines (one object per event, fixed field order); for a fixed
 // (spec, config) the byte stream is identical across runs and across
 // engine worker-pool sizes.
 type TraceSink = obs.TraceSink
-
-// AttachTraceJSONL chains a JSONL trace sink onto a built network
-// (preserving any existing Trace observer); Flush it after the run.
-//
-// Deprecated: set RunConfig.Instruments = []Instrument{&TraceInstrument{Out: w}}
-// instead; Finish (called by the run) flushes the sink.
-func AttachTraceJSONL(nw *Network, w io.Writer) *TraceSink {
-	return obs.AttachTraceJSONL(nw, w)
-}
 
 // ValidateTrace schema-checks a JSONL trace stream and returns the number
 // of events validated.

@@ -10,6 +10,7 @@ package asyncnoc_test
 import (
 	"testing"
 
+	"asyncnoc"
 	"asyncnoc/internal/experiments"
 )
 
@@ -25,6 +26,24 @@ func BenchmarkNodeLevelResults(b *testing.B) {
 	var out *experiments.Table
 	for i := 0; i < b.N; i++ {
 		t, err := experiments.NodeLevel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = t
+	}
+	b.Log("\n" + out.Format())
+}
+
+// BenchmarkChipletHierarchy regenerates the composed-topology table: a
+// 2x2 interposer mesh of 4x4 MoT dies, every architecture plus the
+// strategy variants, with per-hierarchy-level (intra-die vs die-to-die)
+// measurements.
+func BenchmarkChipletHierarchy(b *testing.B) {
+	var out *experiments.Table
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(b)
+		s.N = 4
+		t, err := s.ChipletTable(asyncnoc.ChipletSerial(2, 2))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -30,25 +30,27 @@ import (
 	"time"
 
 	"asyncnoc"
+	"asyncnoc/internal/cliflags"
 	"asyncnoc/internal/experiments"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "CI-scale measurement windows")
-		seed    = flag.Uint64("seed", 2016, "random seed")
-		workers = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
-		shards  = flag.Int("shards", 0, "scheduler shards per run; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
-		sats    = flag.Bool("satloads", false, "also print the raw saturation loads")
-		faults  = flag.Bool("faults", false, "also run the fault-injection robustness sweep")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		n       = flag.Int("n", 8, "MoT radix (the paper evaluates 8; 16 explores the future-work size)")
-		util    = flag.Bool("util", false, "also print the per-level fanout utilization table")
-		cache   = flag.String("cache-dir", "", "persistent result store directory (shared warm cache)")
-		server  = flag.String("server", "", "asyncnocd base URL (e.g. http://localhost:8080); runs execute remotely with local fallback")
-		httpAd  = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		quick    = flag.Bool("quick", false, "CI-scale measurement windows")
+		seed     = flag.Uint64("seed", 2016, "random seed")
+		workers  = cliflags.Workers("simulation")
+		shards   = cliflags.Shards()
+		topology = cliflags.TopologyFlag()
+		sats     = flag.Bool("satloads", false, "also print the raw saturation loads")
+		faults   = flag.Bool("faults", false, "also run the fault-injection robustness sweep")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		n        = cliflags.N()
+		util     = flag.Bool("util", false, "also print the per-level fanout utilization table")
+		cache    = flag.String("cache-dir", "", "persistent result store directory (shared warm cache)")
+		server   = flag.String("server", "", "asyncnocd base URL (e.g. http://localhost:8080); runs execute remotely with local fallback")
+		httpAd   = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -96,6 +98,25 @@ func main() {
 				check(err)
 			}
 		}
+	}
+
+	sel, err := cliflags.ParseTopology(*topology)
+	check(err)
+	switch sel.Kind {
+	case "mesh":
+		check(fmt.Errorf("the evaluation suite measures MoT networks; -topology mesh:%dx%d is not supported", sel.W, sel.H))
+	case "chiplet":
+		// Hierarchy-table mode: instead of the paper's single-die tables,
+		// measure every architecture composed onto the interposer mesh and
+		// break the results out per hierarchy level.
+		ct, err := s.ChipletTable(asyncnoc.ChipletSerial(sel.W, sel.H))
+		check(err)
+		emit("chiplet_hierarchy", ct)
+		fmt.Printf("regenerated chiplet experiments in %.1fs\n", time.Since(start).Seconds())
+		hits, misses := s.Engine().Stats()
+		fmt.Fprintf(os.Stderr, "engine: %d unique simulations, %d memo hits, %d workers\n",
+			misses, hits, s.Engine().Workers())
+		return
 	}
 
 	nodeTable, err := experiments.NodeLevel()

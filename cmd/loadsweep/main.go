@@ -16,18 +16,20 @@ import (
 	"strings"
 
 	"asyncnoc"
+	"asyncnoc/internal/cliflags"
 )
 
 func main() {
 	var (
 		benchName = flag.String("bench", "UniformRandom", "benchmark name")
 		networks  = flag.String("networks", "Baseline,BasicNonSpeculative,OptHybridSpeculative", "comma-separated network names")
-		n         = flag.Int("n", 8, "MoT radix")
+		topology  = cliflags.TopologyFlag()
+		n         = cliflags.N()
 		points    = flag.Int("points", 8, "grid points up to max fraction of saturation")
 		maxFrac   = flag.Float64("maxfrac", 0.95, "highest load as a fraction of saturation")
 		seed      = flag.Uint64("seed", 7, "random seed")
-		workers   = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
-		shards    = flag.Int("shards", 0, "scheduler shards per run; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
+		workers   = cliflags.Workers("simulation")
+		shards    = cliflags.Shards()
 		cache     = flag.String("cache-dir", "", "persistent result store directory (shared warm cache)")
 		server    = flag.String("server", "", "asyncnocd base URL; runs execute remotely with local fallback")
 		httpAddr  = flag.String("http", "", "serve live expvar counters and pprof on this address (e.g. :8090)")
@@ -74,7 +76,14 @@ func main() {
 		defer mon.Close()
 		fmt.Fprintf(os.Stderr, "monitor: http://%s/debug/vars\n", mon.Addr())
 	}
-	bench, err := asyncnoc.BenchmarkByName(*n, *benchName)
+	sel, err := cliflags.ParseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
+	if sel.Kind == "mesh" {
+		fatal(fmt.Errorf("loadsweep sweeps MoT networks; -topology mesh:%dx%d is not supported", sel.W, sel.H))
+	}
+	bench, err := sel.Bench(*n, *benchName)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,6 +101,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		spec = sel.Compose(spec)
 		pts, err := eng.LoadSweep(spec, base, *points, *maxFrac)
 		if err != nil {
 			fatal(err)

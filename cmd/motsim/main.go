@@ -7,7 +7,11 @@
 //	       -n 8 -seed 1 -warmup 320 -measure 3200 -drain 800
 //
 // Loads are offered gigaflits per second per source; windows are in
-// nanoseconds. With -sat the tool searches for the saturation throughput
+// nanoseconds. The -topology flag selects the substrate: mot (default)
+// runs one MoT die, chiplet:WxH composes a WxH interposer mesh of
+// radix -n MoT dies (hierarchical benchmarks only; results carry an
+// intra-die versus die-to-die breakout), and mesh:WxH runs the
+// synchronous mesh-of-trees reference. With -sat the tool searches for the saturation throughput
 // instead of running at a fixed load; the search's probes run through
 // the parallel experiment engine with speculative bisection (-workers,
 // or the ASYNCNOC_WORKERS environment variable; default GOMAXPROCS) and
@@ -32,6 +36,7 @@ import (
 	"strings"
 
 	"asyncnoc"
+	"asyncnoc/internal/cliflags"
 )
 
 func main() {
@@ -39,16 +44,17 @@ func main() {
 		networkName = flag.String("network", "OptHybridSpeculative", "network architecture (use -list for names)")
 		benchName   = flag.String("bench", "UniformRandom", "benchmark (use -list for names)")
 		strategy    = flag.String("strategy", "", "multicast routing strategy (use -list for names; empty = the architecture's default)")
-		dests       = flag.String("dests", "", "fixed destination set, e.g. 1,3,5 (overrides -bench)")
-		n           = flag.Int("n", 8, "MoT radix (power of two)")
+		topology    = cliflags.TopologyFlag()
+		dests       = cliflags.Dests()
+		n           = cliflags.N()
 		load        = flag.Float64("load", 0.4, "offered load in GF/s per source")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		warmup      = flag.Int("warmup", 320, "warmup window (ns)")
 		measure     = flag.Int("measure", 3200, "measurement window (ns)")
 		drain       = flag.Int("drain", 800, "drain window (ns)")
 		sat         = flag.Bool("sat", false, "search for saturation throughput instead of a fixed-load run")
-		workers     = flag.Int("workers", 0, "saturation-search parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
-		shards      = flag.Int("shards", 0, "scheduler shards per run; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
+		workers     = cliflags.Workers("saturation-search")
+		shards      = cliflags.Shards()
 		list        = flag.Bool("list", false, "list network and benchmark names")
 		vcdPath     = flag.String("vcd", "", "dump handshake activity to this VCD file")
 		util        = flag.Bool("util", false, "print per-level fanout utilization after the run")
@@ -70,6 +76,11 @@ func main() {
 		maxEvents     = flag.Uint64("max-events", 0, "watchdog event budget (0 = automatic for fault runs)")
 	)
 	flag.Parse()
+
+	sel, err := cliflags.ParseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		fmt.Println("networks:")
@@ -102,11 +113,37 @@ func main() {
 		}()
 	}
 
+	if sel.Kind == "mesh" {
+		if *sat || *util || *hist || *draw || *vcdPath != "" || *traceOut != "" || *dests != "" {
+			fatal(fmt.Errorf("-topology mesh:%dx%d supports only plain fixed-load runs", sel.W, sel.H))
+		}
+		bench, err := sel.Bench(*n, *benchName)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := asyncnoc.RunTopology(sel.MeshSpec(), asyncnoc.RunConfig{
+			Bench:     bench,
+			LoadGFs:   *load,
+			Seed:      *seed,
+			Warmup:    asyncnoc.Time(*warmup) * asyncnoc.Nanosecond,
+			Measure:   asyncnoc.Time(*measure) * asyncnoc.Nanosecond,
+			Drain:     asyncnoc.Time(*drain) * asyncnoc.Nanosecond,
+			MaxEvents: *maxEvents,
+			Shards:    *shards,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, nil)
+		return
+	}
+
 	spec, err := asyncnoc.NetworkByName(*n, *networkName)
 	if err != nil {
 		fatal(err)
 	}
 	spec = asyncnoc.WithStrategy(spec, *strategy)
+	spec = sel.Compose(spec)
 	if *faults > 0 {
 		spec.Faults.CorruptRate = *faults
 		spec.Faults.DropRate = *faults
@@ -141,11 +178,14 @@ func main() {
 		fmt.Print(out)
 		return
 	}
-	bench, err := asyncnoc.BenchmarkByName(*n, *benchName)
+	bench, err := sel.Bench(*n, *benchName)
 	if err != nil {
 		fatal(err)
 	}
 	if *dests != "" {
+		if spec.Chiplet != nil {
+			fatal(fmt.Errorf("-dests cannot address a chiplet composition; use a hierarchical -bench"))
+		}
 		set, err := asyncnoc.ParseDests(*dests, *n)
 		if err != nil {
 			fatal(err)
@@ -211,6 +251,13 @@ func main() {
 		}
 		res = r
 	}
+	printResult(res, &spec)
+}
+
+// printResult prints the standard measurement block, the hierarchy
+// breakout for chiplet compositions, and the fault counters for fault
+// runs. spec is nil for topologies without a NetworkSpec (mesh).
+func printResult(res asyncnoc.RunResult, spec *asyncnoc.NetworkSpec) {
 	fmt.Printf("network:          %s\n", res.Network)
 	fmt.Printf("benchmark:        %s\n", res.Benchmark)
 	fmt.Printf("offered load:     %.3f GF/s per source\n", res.LoadGFs)
@@ -221,6 +268,17 @@ func main() {
 	fmt.Printf("throughput:       %.3f GF/s per source (delivered)\n", res.ThroughputGFs)
 	fmt.Printf("network power:    %.2f mW\n", res.PowerMW)
 	fmt.Printf("completion:       %.1f%% of %d measured packets\n", 100*res.Completion, res.MeasuredPackets)
+	if spec == nil {
+		return
+	}
+	if spec.Chiplet != nil {
+		fmt.Printf("intra-die:        %d packets, avg %.2f ns, p95 %.2f ns\n",
+			res.MeasuredPackets-res.D2DMeasuredPackets, res.AvgIntraLatencyNs, res.P95IntraLatencyNs)
+		fmt.Printf("die-to-die:       %d packets, avg %.2f ns, p95 %.2f ns\n",
+			res.D2DMeasuredPackets, res.AvgD2DLatencyNs, res.P95D2DLatencyNs)
+		fmt.Printf("d2d throughput:   %.3f GF/s per source (delivered)\n", res.D2DThroughputGFs)
+		fmt.Printf("d2d link power:   %.2f mW over %d flit-hops\n", res.D2DPowerMW, res.D2DFlitHops)
+	}
 	if spec.Faults.Enabled() {
 		fmt.Printf("faults injected:  %d\n", res.FaultsInjected)
 		fmt.Printf("retransmissions:  %d\n", res.Retries)
@@ -229,67 +287,64 @@ func main() {
 	}
 }
 
-// runInstrumented executes one run with the requested instruments
-// attached to a single built network: a JSONL trace sink, per-level
+// latencyCapture is a minimal instrument that holds onto the built
+// network so the latency histogram can be read after the run.
+type latencyCapture struct{ nw *asyncnoc.Network }
+
+func (c *latencyCapture) Attach(nw *asyncnoc.Network) error { c.nw = nw; return nil }
+func (c *latencyCapture) Finish() error                     { return nil }
+
+// runInstrumented executes one run with the requested instruments riding
+// along in RunConfig.Instruments: a JSONL trace sink, per-level
 // utilization counters, a latency histogram, and/or a VCD dump.
 func runInstrumented(spec asyncnoc.NetworkSpec, cfg asyncnoc.RunConfig, tracePath string, util, hist bool, vcdPath string) (asyncnoc.RunResult, error) {
-	nw, err := asyncnoc.Build(spec, cfg)
+	var uIns *asyncnoc.UtilizationInstrument
+	if util {
+		uIns = &asyncnoc.UtilizationInstrument{}
+		cfg.Instruments = append(cfg.Instruments, uIns)
+	}
+	var traceFile *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+		traceFile = f
+		cfg.Instruments = append(cfg.Instruments, &asyncnoc.TraceInstrument{Out: f})
+	}
+	var vcdFile *os.File
+	if vcdPath != "" {
+		f, err := os.Create(vcdPath)
+		if err != nil {
+			return asyncnoc.RunResult{}, err
+		}
+		vcdFile = f
+		cfg.Instruments = append(cfg.Instruments, &asyncnoc.VCDInstrument{Out: f})
+	}
+	var cap *latencyCapture
+	if hist {
+		cap = &latencyCapture{}
+		cfg.Instruments = append(cfg.Instruments, cap)
+	}
+	res, err := asyncnoc.Run(spec, cfg)
 	if err != nil {
 		return asyncnoc.RunResult{}, err
 	}
-	var u *asyncnoc.Utilization
-	if util {
-		u = asyncnoc.AttachUtilization(nw)
-	}
-	var sink *asyncnoc.TraceSink
-	var traceFile *os.File
-	if tracePath != "" {
-		traceFile, err = os.Create(tracePath)
-		if err != nil {
-			return asyncnoc.RunResult{}, err
-		}
-		sink = asyncnoc.AttachTraceJSONL(nw, traceFile)
-	}
-	var vcdRec *asyncnoc.VCDRecorder
-	var vcdFile *os.File
-	if vcdPath != "" {
-		vcdFile, err = os.Create(vcdPath)
-		if err != nil {
-			return asyncnoc.RunResult{}, err
-		}
-		vcdRec, err = asyncnoc.AttachVCD(nw, vcdFile)
-		if err != nil {
-			return asyncnoc.RunResult{}, err
-		}
-	}
-	if g := nw.Group(); g != nil {
-		defer g.Close()
-		g.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
-	} else {
-		nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
-	}
-	if sink != nil {
-		if err := sink.Flush(); err != nil {
-			return asyncnoc.RunResult{}, err
-		}
+	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			return asyncnoc.RunResult{}, err
 		}
 	}
-	if vcdRec != nil {
-		if err := vcdRec.Close(); err != nil {
-			return asyncnoc.RunResult{}, err
-		}
+	if vcdFile != nil {
 		if err := vcdFile.Close(); err != nil {
 			return asyncnoc.RunResult{}, err
 		}
 	}
-	res := asyncnoc.Collect(nw, cfg)
-	if u != nil {
-		fmt.Print(u.String())
+	if uIns != nil {
+		fmt.Print(uIns.U.String())
 	}
-	if hist {
-		if samples := nw.Rec.LatenciesNs(); len(samples) > 0 {
+	if cap != nil {
+		if samples := cap.nw.Rec.LatenciesNs(); len(samples) > 0 {
 			fmt.Println("latency histogram (ns):")
 			fmt.Print(asyncnoc.FormatLatencyHistogram(samples, 12, 40))
 		}

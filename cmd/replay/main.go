@@ -22,21 +22,30 @@ import (
 	"strings"
 
 	"asyncnoc"
+	"asyncnoc/internal/cliflags"
 )
 
 func main() {
 	var (
 		networkName = flag.String("network", "OptHybridSpeculative", "network architecture")
-		n           = flag.Int("n", 8, "MoT radix")
+		topology    = cliflags.TopologyFlag()
+		n           = cliflags.N()
 		file        = flag.String("file", "", "CSV schedule file (time_ns,src,dest[,dest...])")
 		drain       = flag.Int("drain", 2000, "extra simulated time after the last injection (ns)")
-		shards      = flag.Int("shards", 0, "scheduler shards for the replay; results are identical at any count (0 = $ASYNCNOC_SHARDS or 1)")
+		shards      = cliflags.Shards()
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *file == "" {
 		fatal(fmt.Errorf("need -file"))
+	}
+	// Flat schedules address one die's terminal space; composed and mesh
+	// topologies have no schedule format (see core.RunScheduleShards).
+	if sel, err := cliflags.ParseTopology(*topology); err != nil {
+		fatal(err)
+	} else if sel.Kind != "mot" {
+		fatal(fmt.Errorf("replay supports only -topology mot; a %s schedule has no CSV format", sel.Kind))
 	}
 	if *cpuProf != "" {
 		stop, err := asyncnoc.StartCPUProfile(*cpuProf)

@@ -51,25 +51,21 @@ func main() {
 		Measure: 200 * asyncnoc.Nanosecond,
 		Drain:   100 * asyncnoc.Nanosecond,
 	}
-	nw, err := asyncnoc.Build(spec, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sink := asyncnoc.AttachTraceJSONL(nw, f)
-	nw.Sched.RunUntil(cfg.Warmup + cfg.Measure + cfg.Drain)
-	if err := sink.Flush(); err != nil {
+	tr := &asyncnoc.TraceInstrument{Out: f}
+	cfg.Instruments = []asyncnoc.Instrument{tr}
+	res, err := asyncnoc.Run(spec, cfg)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	res := asyncnoc.Collect(nw, cfg)
 	fmt.Printf("traced %s under %s: %d events -> %s\n",
-		spec.Name, cfg.Bench.Name(), sink.Events(), *out)
+		spec.Name, cfg.Bench.Name(), tr.Sink.Events(), *out)
 	fmt.Printf("avg latency %.2f ns, p99 %.2f ns, redundant fraction %.1f%%\n",
 		res.AvgLatencyNs, res.P99LatencyNs, 100*res.RedundantFraction)
 

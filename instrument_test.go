@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"asyncnoc"
+	"asyncnoc/internal/obs"
 )
 
 func shortCfg(n int) asyncnoc.RunConfig {
@@ -20,17 +21,18 @@ func shortCfg(n int) asyncnoc.RunConfig {
 	}
 }
 
-// The instrument surface must observe exactly the run the deprecated
-// Build+Attach path observes: same trace bytes, same result.
-func TestTraceInstrumentMatchesDeprecatedAttach(t *testing.T) {
+// The instrument surface must observe exactly the run a manual
+// Build + attach + Collect harness observes: same trace bytes, same
+// result.
+func TestTraceInstrumentMatchesManualAttach(t *testing.T) {
 	spec := asyncnoc.OptHybridSpeculative(8)
 
-	var legacy bytes.Buffer
+	var manual bytes.Buffer
 	nw, err := asyncnoc.Build(spec, shortCfg(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sink := asyncnoc.AttachTraceJSONL(nw, &legacy)
+	sink := obs.AttachTraceJSONL(nw, &manual)
 	nw.Sched.RunUntil(700 * asyncnoc.Nanosecond)
 	wantRes := asyncnoc.Collect(nw, shortCfg(8))
 	if err := sink.Flush(); err != nil {
@@ -46,9 +48,9 @@ func TestTraceInstrumentMatchesDeprecatedAttach(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if !bytes.Equal(legacy.Bytes(), instrumented.Bytes()) {
+	if !bytes.Equal(manual.Bytes(), instrumented.Bytes()) {
 		t.Errorf("instrumented trace differs from Build+Attach trace (%d vs %d bytes)",
-			legacy.Len(), instrumented.Len())
+			manual.Len(), instrumented.Len())
 	}
 	if tr.Sink == nil || tr.Sink.Events() == 0 {
 		t.Error("TraceInstrument saw no events")

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"asyncnoc/internal/chiplet"
 	"asyncnoc/internal/netlist"
 	"asyncnoc/internal/network"
 	"asyncnoc/internal/node"
@@ -155,6 +156,22 @@ func WithStrategy(spec network.Spec, strategy string) network.Spec {
 	}
 	spec.Strategy = strategy
 	spec.Name += "+" + strategy
+	return spec
+}
+
+// WithChiplet composes a single-die architecture into a mesh of
+// identical dies: p describes the interposer (NoI mesh dimensions plus
+// the die-to-die channel's serial/parallel beat parameters), and the
+// resulting spec simulates p.Dies() copies of the die connected through
+// per-die egress gateways. The reporting name gains an "@WxHofN" suffix
+// so tables and engine memo keys distinguish the composition. A nil p
+// returns the spec unchanged.
+func WithChiplet(spec network.Spec, p *chiplet.Params) network.Spec {
+	if p == nil {
+		return spec
+	}
+	spec.Chiplet = p
+	spec.Name += "@" + p.Tag(spec.N)
 	return spec
 }
 

@@ -85,10 +85,10 @@ type Job struct {
 // but differing in, say, the hotspot destination hash differently).
 func JobKey(spec network.Spec, cfg RunConfig) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "spec|%s|%d|%d|%d|%v|%d|%d|%v|%s|%d|%d|%+v",
-		spec.Name, spec.N, spec.PacketLen, spec.Scheme, spec.SpecLevels,
-		spec.SpecKind, spec.NonSpecKind, spec.Serial, spec.Strategy, spec.Protocol, spec.SyncPeriod,
-		spec.Faults)
+	// The spec's contribution is its CanonicalKey: byte-identical to the
+	// historical inline field list for single-die specs, so persistent
+	// stores written before the chiplet layer stay warm.
+	fmt.Fprintf(h, "spec|%s", spec.CanonicalKey())
 	fmt.Fprintf(h, "|cfg|%#v|%s|%d|%d|%d|%d|%d",
 		cfg.Bench, strconv.FormatFloat(cfg.LoadGFs, 'x', -1, 64),
 		cfg.Seed, cfg.Warmup, cfg.Measure, cfg.Drain, cfg.MaxEvents)
@@ -284,9 +284,9 @@ func (e *Engine) Snapshot() EngineSnapshot {
 	hits, misses := e.hits, e.misses
 	e.mu.Unlock()
 	snap := EngineSnapshot{
-		Workers:   e.workers,
-		Hits:      hits,
-		Misses:    misses,
+		Workers:    e.workers,
+		Hits:       hits,
+		Misses:     misses,
 		Started:    e.started.Load(),
 		Completed:  e.completed.Load(),
 		RemoteRuns: e.remoteRuns.Load(),

@@ -8,6 +8,7 @@ import (
 
 	"asyncnoc/internal/fault"
 	"asyncnoc/internal/network"
+	"asyncnoc/internal/packet"
 	"asyncnoc/internal/rng"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/traffic"
@@ -187,6 +188,29 @@ type RunResult struct {
 	// RedundantFraction is throttled flits over all fanout movements in
 	// the window.
 	RedundantFraction float64
+
+	// Hierarchy-level breakout, all zero on single-die networks: a
+	// chiplet composition splits the measured packets into the intra-die
+	// class (source and destinations on the same die) and the D2D class
+	// (legs that crossed the interposer).
+	//
+	// D2DMeasuredPackets counts completed measured packets/legs that
+	// crossed at least one die-to-die hop.
+	D2DMeasuredPackets int
+	// AvgIntraLatencyNs / P95IntraLatencyNs summarize the intra-die
+	// class's latency.
+	AvgIntraLatencyNs float64
+	P95IntraLatencyNs float64
+	// AvgD2DLatencyNs / P95D2DLatencyNs summarize the D2D class's
+	// latency (serialization + interposer hops + ingress-die fanout).
+	AvgD2DLatencyNs float64
+	P95D2DLatencyNs float64
+	// D2DThroughputGFs is the D2D share of the accepted throughput.
+	D2DThroughputGFs float64
+	// D2DPowerMW is the interposer-link share of PowerMW.
+	D2DPowerMW float64
+	// D2DFlitHops counts flit-hop interposer crossings in the window.
+	D2DFlitHops int64
 
 	// Fault-layer counters, all zero when the spec's fault config is
 	// disabled (see fault.Stats for the precise semantics).
@@ -370,15 +394,16 @@ func runShardedGuarded(ctx context.Context, nw *network.Network, total sim.Time,
 
 // resolveShards decides the effective shard count for a run: <= 1 keeps
 // the serial engine, fault-enabled specs silently fall back to it, and
-// counts above N clamp to N (one tree per shard is the finest useful
-// partition).
+// counts above spec.MaxShards() clamp to it (one tree per shard on a
+// single die, one die per shard on a chiplet composition — the finest
+// useful partitions).
 func resolveShards(spec network.Spec, cfg RunConfig) int {
 	k := cfg.Shards
 	if k <= 1 || spec.Faults.Enabled() {
 		return 1
 	}
-	if k > spec.N {
-		k = spec.N
+	if mk := spec.MaxShards(); k > mk {
+		k = mk
 	}
 	return k
 }
@@ -403,6 +428,15 @@ func Build(spec network.Spec, cfg RunConfig) (*network.Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	var wide traffic.WideBenchmark
+	if spec.Chiplet != nil {
+		w, ok := cfg.Bench.(traffic.WideBenchmark)
+		if !ok {
+			return nil, fmt.Errorf("core: benchmark %s cannot address chiplet composition %s (needs traffic.WideBenchmark)",
+				cfg.Bench.Name(), spec.Name)
+		}
+		wide = w
+	}
 	windowEnd := sim.AddSat(cfg.Warmup, cfg.Measure)
 	nw.Rec.SetWindow(cfg.Warmup, windowEnd)
 	nw.Meter.SetWindow(cfg.Warmup, windowEnd)
@@ -410,17 +444,24 @@ func Build(spec network.Spec, cfg RunConfig) (*network.Network, error) {
 	// Mean packet inter-arrival in ps: PacketLen flits at LoadGFs
 	// flits/ns per source.
 	meanGapPs := float64(spec.PacketLen) / cfg.LoadGFs * 1000
-	// Pre-size the recorder from the injection schedule: N open-loop
+	terms := spec.Terminals()
+	// Pre-size the recorder from the injection schedule: open-loop
 	// Poisson processes inject span/meanGap packets each in expectation.
 	// The 9/8 headroom absorbs ordinary Poisson fluctuation; an
 	// underestimate only costs amortized growth.
-	expected := float64(injectUntil) / meanGapPs * float64(spec.N)
-	nw.Rec.Reserve(int(expected*9/8) + spec.N)
+	expected := float64(injectUntil) / meanGapPs * float64(terms)
+	nw.Rec.Reserve(int(expected*9/8) + terms)
 	root := rng.New(cfg.Seed)
-	for s := 0; s < spec.N; s++ {
+	for s := 0; s < terms; s++ {
 		inj := &injector{
 			nw: nw, sched: nw.SchedFor(s), bench: cfg.Bench, src: s, r: root.Split(),
 			meanGapPs: meanGapPs, injectUntil: injectUntil,
+		}
+		if wide != nil {
+			// Per-injector destination buffer: injectors on different
+			// shards run concurrently, so the scratch space cannot be
+			// shared.
+			inj.wide, inj.byDie = wide, make([]packet.DestSet, spec.Dies())
 		}
 		inj.sched.In(gap(inj.r, meanGapPs), inj, 0)
 	}
@@ -439,6 +480,12 @@ type injector struct {
 	r           *rng.Source
 	meanGapPs   float64
 	injectUntil sim.Time
+
+	// wide/byDie drive hierarchical injection on chiplet compositions:
+	// the benchmark fills one local destination mask per die into the
+	// injector-owned scratch buffer and the packet enters via InjectWide.
+	wide  traffic.WideBenchmark
+	byDie []packet.DestSet
 }
 
 // OnEvent implements sim.Handler.
@@ -446,7 +493,12 @@ func (in *injector) OnEvent(int64) {
 	if in.sched.Now() >= in.injectUntil {
 		return
 	}
-	if _, err := in.nw.Inject(in.src, in.bench.NextDests(in.src, in.r)); err != nil {
+	if in.wide != nil {
+		in.wide.NextWideDests(in.src, in.byDie, in.r)
+		if err := in.nw.InjectWide(in.src, in.byDie); err != nil {
+			panic(fault.Violationf(fmt.Sprintf("benchmark %s", in.bench.Name()), "%v", err))
+		}
+	} else if _, err := in.nw.Inject(in.src, in.bench.NextDests(in.src, in.r)); err != nil {
 		// A benchmark producing an invalid destination set is a
 		// protocol-level modeling bug; surface it as one.
 		panic(fault.Violationf(fmt.Sprintf("benchmark %s", in.bench.Name()), "%v", err))
@@ -469,7 +521,7 @@ func Collect(nw *network.Network, cfg RunConfig) RunResult {
 		Network:         nw.Spec.Name,
 		Benchmark:       cfg.Bench.Name(),
 		LoadGFs:         cfg.LoadGFs,
-		ThroughputGFs:   nw.Rec.ThroughputGFs(nw.Spec.N),
+		ThroughputGFs:   nw.Rec.ThroughputGFs(nw.Spec.Terminals()),
 		PowerMW:         nw.Meter.PowerMW(),
 		Completion:      nw.Rec.CompletionRate(),
 		MeasuredPackets: nw.Rec.MeasuredCreated(),
@@ -486,6 +538,18 @@ func Collect(nw *network.Network, cfg RunConfig) RunResult {
 	copy(res.ForwardsPerLevel[:], nw.Rec.ForwardsPerLevel())
 	copy(res.ThrottlesPerLevel[:], nw.Rec.ThrottlesPerLevel())
 	res.RedundantFraction = nw.Rec.RedundantFraction()
+	if nw.Spec.Chiplet != nil {
+		res.D2DMeasuredPackets = nw.Rec.MeasuredCompletedD2D()
+		if avg, p95, ok := nw.Rec.IntraLatency(); ok {
+			res.AvgIntraLatencyNs, res.P95IntraLatencyNs = avg, p95
+		}
+		if avg, p95, ok := nw.Rec.D2DLatency(); ok {
+			res.AvgD2DLatencyNs, res.P95D2DLatencyNs = avg, p95
+		}
+		res.D2DThroughputGFs = nw.Rec.D2DThroughputGFs(nw.Spec.Terminals())
+		res.D2DPowerMW = nw.Meter.D2DPowerMW()
+		res.D2DFlitHops = nw.Meter.D2DFlitHops()
+	}
 	if fs := nw.FaultStats(); fs != nil {
 		res.FaultsInjected = fs.Injected
 		res.Retries = fs.Retries

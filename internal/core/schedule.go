@@ -84,6 +84,11 @@ func RunSchedule(spec network.Spec, sched Schedule, drain sim.Time) (RunResult, 
 // source tree's shard.
 func RunScheduleShards(spec network.Spec, sched Schedule, drain sim.Time, shards int) (res RunResult, err error) {
 	defer RecoverViolations(spec.Name, &err)
+	if spec.Chiplet != nil {
+		// Schedule entries address destinations with one flat mask, which
+		// cannot express a composed network's hierarchical space.
+		return RunResult{}, fmt.Errorf("core: schedule replay does not support chiplet composition %s", spec.Name)
+	}
 	if err := sched.Validate(spec.N); err != nil {
 		return RunResult{}, err
 	}

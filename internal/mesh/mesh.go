@@ -30,6 +30,7 @@ import (
 	"asyncnoc/internal/routing"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/timing"
+	"asyncnoc/internal/topology"
 )
 
 // Router port indices.
@@ -79,6 +80,28 @@ func (s Spec) Validate() error {
 
 // Tiles returns the terminal count.
 func (s Spec) Tiles() int { return s.W * s.H }
+
+// TopologyName implements topology.TopologySpec.
+func (s Spec) TopologyName() string { return s.Name }
+
+// Terminals implements topology.TopologySpec.
+func (s Spec) Terminals() int { return s.Tiles() }
+
+// ShardLookaheadPs implements topology.TopologySpec: the mesh engine is
+// serial-only, so it advertises no cross-shard lookahead.
+func (s Spec) ShardLookaheadPs() int64 { return 0 }
+
+// MaxShards implements topology.TopologySpec: the mesh substrate runs on
+// one scheduler.
+func (s Spec) MaxShards() int { return 1 }
+
+// CanonicalKey implements topology.TopologySpec: every behavioral field
+// participates, so equal keys mean replayed runs.
+func (s Spec) CanonicalKey() string {
+	return fmt.Sprintf("mesh|%s|%dx%d|%d|%v|%s", s.Name, s.W, s.H, s.PacketLen, s.Serial, s.Strategy)
+}
+
+var _ topology.TopologySpec = Spec{}
 
 // Mesh is one simulated mesh instance.
 type Mesh struct {
@@ -434,7 +457,7 @@ type sinkNI struct {
 // OnFlit implements node.Sink.
 func (ni *sinkNI) OnFlit(_ int, f packet.Flit) {
 	now := ni.mesh.Sched.Now()
-	ni.mesh.Rec.FlitDelivered(now)
+	ni.mesh.Rec.FlitDelivered(now, false)
 	ni.mesh.Meter.Interface()
 	if f.IsHeader() {
 		ni.mesh.Rec.HeaderArrived(f.Pkt, ni.tile, now)

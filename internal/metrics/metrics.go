@@ -57,6 +57,16 @@ type Recorder struct {
 	lostPackets     int
 	measuredLost    int
 
+	// hierarchy arms the intra-die vs die-to-die breakout on chiplet
+	// compositions: completed packets also land a latency sample in the
+	// per-class slice (by Packet.D2DHops), and D2D flit deliveries are
+	// counted separately.
+	hierarchy       bool
+	latIntraNs      []float64
+	latD2DNs        []float64
+	d2dFlits        int64
+	measuredDoneD2D int
+
 	// levelForwards/levelThrottles count fanout activity per tree level
 	// inside the measurement window (root level first).
 	levelForwards  []int64
@@ -95,6 +105,10 @@ func (r *Recorder) SetWindow(start, end sim.Time) {
 // already written off by PacketLost are counted as late stragglers
 // instead of panicking.
 func (r *Recorder) SetLossTolerant(on bool) { r.lossTolerant = on }
+
+// SetHierarchy arms the intra-die vs die-to-die measurement breakout
+// (chiplet compositions).
+func (r *Recorder) SetHierarchy(on bool) { r.hierarchy = on }
 
 // SetLevels sizes the per-level fanout utilization counters for a
 // network with `levels` fanout tree levels.
@@ -158,7 +172,16 @@ func (r *Recorder) HeaderArrived(p *packet.Packet, dest int, now sim.Time) {
 		st.done = true
 		if st.measured {
 			r.measuredDone++
-			r.latenciesNs = append(r.latenciesNs, sim.Time(int64(now)-logical.CreatedAt).Nanoseconds())
+			lat := sim.Time(int64(now) - logical.CreatedAt).Nanoseconds()
+			r.latenciesNs = append(r.latenciesNs, lat)
+			if r.hierarchy {
+				if logical.D2DHops > 0 {
+					r.measuredDoneD2D++
+					r.latD2DNs = append(r.latD2DNs, lat)
+				} else {
+					r.latIntraNs = append(r.latIntraNs, lat)
+				}
+			}
 		}
 		// Completed packets no longer need tracking: the slot recycles.
 		r.pktIdx.Delete(logical.ID)
@@ -186,10 +209,15 @@ func (r *Recorder) PacketLost(p *packet.Packet, now sim.Time) {
 	}
 }
 
-// FlitDelivered counts one flit landing at a destination interface.
-func (r *Recorder) FlitDelivered(now sim.Time) {
+// FlitDelivered counts one flit landing at a destination interface; d2d
+// marks flits that crossed a die-to-die link (always false on
+// single-die networks and meshes).
+func (r *Recorder) FlitDelivered(now sim.Time, d2d bool) {
 	if r.inWindow(now) {
 		r.deliveredFlits++
+		if d2d {
+			r.d2dFlits++
+		}
 	}
 }
 
@@ -275,6 +303,41 @@ func (r *Recorder) ThroughputGFs(sources int) float64 {
 	}
 	return float64(r.deliveredFlits) / window.Nanoseconds() / float64(sources)
 }
+
+// D2DThroughputGFs returns the die-to-die share of the accepted
+// throughput (flits that crossed a D2D link, in GF/s per source).
+func (r *Recorder) D2DThroughputGFs(sources int) float64 {
+	window := r.WindowEnd - r.WindowStart
+	if window <= 0 || sources <= 0 {
+		return 0
+	}
+	return float64(r.d2dFlits) / window.Nanoseconds() / float64(sources)
+}
+
+// hierSummary summarizes one per-class latency sample set.
+func hierSummary(samples []float64) (avg, p95 float64, ok bool) {
+	if len(samples) == 0 {
+		return 0, 0, false
+	}
+	s := stats.NewSummary(samples)
+	return s.Mean(), s.P95(), true
+}
+
+// IntraLatency returns the mean and P95 latency of completed measured
+// packets that stayed inside their source die (hierarchy mode only).
+func (r *Recorder) IntraLatency() (avg, p95 float64, ok bool) {
+	return hierSummary(r.latIntraNs)
+}
+
+// D2DLatency returns the mean and P95 latency of completed measured
+// packets that crossed at least one die-to-die link.
+func (r *Recorder) D2DLatency() (avg, p95 float64, ok bool) {
+	return hierSummary(r.latD2DNs)
+}
+
+// MeasuredCompletedD2D returns how many completed measured packets
+// crossed a die-to-die link.
+func (r *Recorder) MeasuredCompletedD2D() int { return r.measuredDoneD2D }
 
 // MeasuredCreated returns how many logical packets were injected inside
 // the measurement window.

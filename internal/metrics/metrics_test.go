@@ -67,12 +67,12 @@ func TestPacketsOutsideWindowNotMeasured(t *testing.T) {
 
 func TestThroughputCountsWindowOnly(t *testing.T) {
 	r := NewRecorder()
-	r.SetWindow(100, 1100) // 1 ns window
-	r.FlitDelivered(50)    // before
+	r.SetWindow(100, 1100)     // 1 ns window
+	r.FlitDelivered(50, false) // before
 	for i := 0; i < 8; i++ {
-		r.FlitDelivered(sim.Time(200 + i))
+		r.FlitDelivered(sim.Time(200+i), false)
 	}
-	r.FlitDelivered(1100) // at end boundary: excluded
+	r.FlitDelivered(1100, false) // at end boundary: excluded
 	if got := r.ThroughputGFs(4); got != 2.0 {
 		t.Errorf("throughput = %v GF/s per source, want 2.0", got)
 	}
@@ -177,10 +177,10 @@ func TestPacketCreatedAtWindowBoundaries(t *testing.T) {
 // does not (the window is half-open on both metrics).
 func TestFlitDeliveredAtWindowBoundaries(t *testing.T) {
 	r := NewRecorder()
-	r.SetWindow(100, 1100) // 1 ns window
-	r.FlitDelivered(100)   // at start: included
-	r.FlitDelivered(1099)  // last included instant
-	r.FlitDelivered(1100)  // at end: excluded
+	r.SetWindow(100, 1100)       // 1 ns window
+	r.FlitDelivered(100, false)  // at start: included
+	r.FlitDelivered(1099, false) // last included instant
+	r.FlitDelivered(1100, false) // at end: excluded
 	if got := r.ThroughputGFs(1); got != 2.0 {
 		t.Errorf("throughput = %v GF/s, want 2.0 (2 flits in 1 ns)", got)
 	}
@@ -206,7 +206,7 @@ func TestHeaderAtWindowStartOfUnmeasuredPacket(t *testing.T) {
 func TestThroughputZeroLengthWindow(t *testing.T) {
 	r := NewRecorder()
 	r.SetWindow(100, 100)
-	r.FlitDelivered(100) // boundary of a zero-length window: excluded
+	r.FlitDelivered(100, false) // boundary of a zero-length window: excluded
 	if r.ThroughputGFs(4) != 0 {
 		t.Error("zero-length window must yield 0 throughput, not a division blow-up")
 	}

@@ -12,6 +12,7 @@ package network
 import (
 	"fmt"
 
+	"asyncnoc/internal/chiplet"
 	"asyncnoc/internal/fault"
 	"asyncnoc/internal/metrics"
 	"asyncnoc/internal/node"
@@ -64,7 +65,73 @@ type Spec struct {
 	// interfaces. The zero value disables the fault layer entirely: the
 	// network builds and runs bit-identically to a spec without it.
 	Faults fault.Config
+	// Chiplet, when non-nil, composes MeshW x MeshH copies of this die
+	// on an interposer mesh with die-to-die links (see internal/chiplet).
+	// Every die is an independent n x n MoT of this spec's architecture;
+	// cross-die packets leave through a per-die egress gateway, cross
+	// the interposer hop by hop, and re-inject into the target die's
+	// fanout fabric. Nil builds the plain single-die network.
+	Chiplet *chiplet.Params
 }
+
+// Dies returns the die count of the composition (1 when single-die).
+func (s Spec) Dies() int {
+	if s.Chiplet == nil {
+		return 1
+	}
+	return s.Chiplet.Dies()
+}
+
+// Terminals returns the total source/sink terminal count: Dies() * N.
+// Terminal g lives on die g/N at local index g%N.
+func (s Spec) Terminals() int { return s.Dies() * s.N }
+
+// TopologyName implements topology.TopologySpec.
+func (s Spec) TopologyName() string { return s.Name }
+
+// MaxShards implements topology.TopologySpec: single-die networks shard
+// down to one tree pair per region, chiplet compositions to one die per
+// region (the natural Chandy-Misra partition — intra-die edges never
+// cross regions), and fault-layer networks run serial only.
+func (s Spec) MaxShards() int {
+	if s.Faults.Enabled() {
+		return 1
+	}
+	if s.Chiplet != nil {
+		return s.Chiplet.Dies()
+	}
+	return s.N
+}
+
+// ShardLookaheadPs implements topology.TopologySpec: the minimum delay
+// of any cross-region event. Die-partitioned chiplet runs only cross
+// regions on D2D flights (>= one hop), single-die runs on leaf-crossing
+// channels.
+func (s Spec) ShardLookaheadPs() int64 {
+	if s.Chiplet != nil {
+		return int64(s.Chiplet.HopPs)
+	}
+	return int64(ShardLookahead(s.Protocol))
+}
+
+// CanonicalKey implements topology.TopologySpec: a stable serialization
+// of every behavior-affecting field. The single-die form is
+// byte-identical to the historical engine memo key, so persistent
+// result stores stay warm across this API's introduction; chiplet
+// compositions append their parameters.
+func (s Spec) CanonicalKey() string {
+	key := fmt.Sprintf("%s|%d|%d|%d|%v|%d|%d|%v|%s|%d|%d|%+v",
+		s.Name, s.N, s.PacketLen, s.Scheme, s.SpecLevels,
+		s.SpecKind, s.NonSpecKind, s.Serial, s.Strategy, s.Protocol, s.SyncPeriod,
+		s.Faults)
+	if s.Chiplet != nil {
+		key += fmt.Sprintf("|chiplet|%+v", *s.Chiplet)
+	}
+	return key
+}
+
+// Spec satisfies the unified topology-spec surface.
+var _ topology.TopologySpec = Spec{}
 
 // Validate checks internal consistency.
 func (s Spec) Validate() error {
@@ -87,6 +154,18 @@ func (s Spec) Validate() error {
 	}
 	if s.Faults.Enabled() && s.PacketLen > 63 {
 		return fmt.Errorf("network %s: packet length %d > 63 unsupported with faults (rx bitmask)", s.Name, s.PacketLen)
+	}
+	if s.N > packet.MaxDests {
+		return fmt.Errorf("network %s: die radix %d > %d (destination sets are %d-bit masks; compose smaller dies with a chiplet spec)",
+			s.Name, s.N, packet.MaxDests, packet.MaxDests)
+	}
+	if s.Chiplet != nil {
+		if err := s.Chiplet.Validate(s.N); err != nil {
+			return fmt.Errorf("network %s: %w", s.Name, err)
+		}
+		if s.Faults.Enabled() {
+			return fmt.Errorf("network %s: the fault layer is unsupported on chiplet compositions", s.Name)
+		}
 	}
 	return nil
 }
@@ -157,8 +236,12 @@ type Network struct {
 
 	sources []*SourceNI
 	sinks   []*SinkNI
-	fanouts [][]*node.Fanout // [tree][heap 1..N-1]
+	fanouts [][]*node.Fanout // [tree][heap 1..N-1]; tree = die*N + local
 	fanins  [][]*node.Fanin  // [tree][heap 1..N-1]
+
+	// egress holds one die-to-die gateway per die (chiplet compositions
+	// only, nil otherwise).
+	egress []*d2dEgress
 
 	// inj owns the fault schedule; nil when Spec.Faults is disabled.
 	inj *fault.Injector
@@ -236,6 +319,9 @@ func newBase(spec Spec) (*Network, error) {
 		Rec:       metrics.NewRecorder(),
 	}
 	nw.Rec.SetLevels(m.Levels)
+	if spec.Chiplet != nil {
+		nw.Rec.SetHierarchy(true)
+	}
 	nw.fabric = routing.Fabric{Placement: pl, Serial: spec.Serial}
 	nw.strat = routing.DefaultStrategy(spec.Serial)
 	if spec.Strategy != "" {
@@ -251,7 +337,7 @@ func (nw *Network) applySyncBackground() {
 	if nw.Spec.SyncPeriod <= 0 {
 		return
 	}
-	nodes := float64(nw.MoT.TotalFanoutNodes() + nw.MoT.TotalFaninNodes())
+	nodes := float64(nw.Spec.Dies()) * float64(nw.MoT.TotalFanoutNodes()+nw.MoT.TotalFaninNodes())
 	// fJ per ps is mW: clock energy per node per cycle over the period.
 	nw.Meter.BackgroundMW = nodes * power.ClockTreeFJPerNodeCycle / float64(nw.Spec.SyncPeriod)
 }
@@ -285,10 +371,20 @@ func New(spec Spec) (*Network, error) {
 	return nw, nil
 }
 
+// ownerOf resolves the terminal whose accounting context allocated p:
+// the explicit Owner when set (chiplet ingress legs are allocated at
+// the target die, not at p.Src's), the injecting source otherwise.
+func ownerOf(p *packet.Packet) int {
+	if p.Owner > 0 {
+		return int(p.Owner) - 1
+	}
+	return p.Src
+}
+
 // releaseCopy retires one live flit copy of p (a delivery or a throttle
 // absorption). When the last copy dies the packet returns to the
-// freelist of its source tree's context — the context that allocates it
-// — and a serial clone's death also retires one clone reference of its
+// freelist of its owning context — the context that allocates it — and
+// a serial clone's death also retires one clone reference of its
 // logical parent. Callers invoke it after all other uses of the flit in
 // the same event (recorder, meter, trace), so no recycled packet is ever
 // read through a stale flit.
@@ -298,12 +394,12 @@ func (nw *Network) releaseCopy(p *packet.Packet) {
 		return
 	}
 	parent := p.Parent
-	fc := nw.actxFor(p.Src)
+	fc := nw.actxFor(ownerOf(p))
 	fc.pktFree = append(fc.pktFree, p)
 	if parent != nil {
 		parent.Refs--
 		if parent.Refs == 0 {
-			fc = nw.actxFor(parent.Src)
+			fc = nw.actxFor(ownerOf(parent))
 			fc.pktFree = append(fc.pktFree, parent)
 		}
 	}
@@ -374,13 +470,18 @@ func (nw *Network) ChannelHolds() []ChannelHold {
 	return holds
 }
 
-// build instantiates and wires every node, interface, and channel.
+// build instantiates and wires every node, interface, and channel. On a
+// chiplet composition the per-die structure repeats Terminals()/N times
+// — tree t belongs to die t/N at local index t%N — and every die also
+// gets its egress gateway; a single-die build reduces to the historical
+// wiring exactly (die 0, local == global).
 func (nw *Network) build() {
 	n := nw.Spec.N
-	nw.fanouts = make([][]*node.Fanout, n)
-	nw.fanins = make([][]*node.Fanin, n)
-	nw.sources = make([]*SourceNI, n)
-	nw.sinks = make([]*SinkNI, n)
+	terms := nw.Spec.Terminals()
+	nw.fanouts = make([][]*node.Fanout, terms)
+	nw.fanins = make([][]*node.Fanin, terms)
+	nw.sources = make([]*SourceNI, terms)
+	nw.sinks = make([]*SinkNI, terms)
 	// Multicast-capable networks decouple replication branches with a
 	// two-packet FIFO per output port (see node.Fanout): headers reserve
 	// a full packet of space (virtual cut-through), and the second
@@ -390,7 +491,7 @@ func (nw *Network) build() {
 	if nw.Spec.Serial {
 		fifoCap = 1
 	}
-	for t := 0; t < n; t++ {
+	for t := 0; t < terms; t++ {
 		a := nw.actxFor(t)
 		nw.fanouts[t] = make([]*node.Fanout, n)
 		nw.fanins[t] = make([]*node.Fanin, n)
@@ -442,8 +543,9 @@ func (nw *Network) build() {
 		nw.sinks[t] = newSinkNI(nw, t)
 	}
 	// Wire the channels.
-	for t := 0; t < n; t++ {
+	for t := 0; t < terms; t++ {
 		a := nw.actxFor(t)
+		die, lt := t/n, t%n
 		// Source NI -> fanout root.
 		root := nw.channel(a, nw.fanouts[t][1], 0, nw.sources[t], 0)
 		nw.sources[t].out = root
@@ -457,23 +559,28 @@ func (nw *Network) build() {
 					nw.fanouts[t][k].ConnectOutput(p, ch)
 					nw.fanouts[t][c].ConnectInput(ch)
 				} else {
-					// Leaf crossing: fanout tree t, leaf for dest d,
-					// enters fanin tree d at the leaf slot for source t.
-					// This is the only edge that can cross regions in a
-					// sharded build; its deliver/credit events then route
-					// through the group's mailboxes.
+					// Leaf crossing: fanout tree t, leaf for local dest
+					// d, enters the same die's fanin tree d at the leaf
+					// slot for local source t%n. This is the only edge
+					// that can cross regions in a single-die sharded
+					// build; its deliver/credit events then route
+					// through the group's mailboxes. (Die-partitioned
+					// chiplet builds never cross here — both trees are
+					// on the die's shard — so the remote-endpoint check
+					// is a no-op for them.)
 					d := c - n
-					fiHeap := (n + t) / 2
-					fiPort := (n + t) % 2
-					ch := nw.channel(a, nw.fanins[d][fiHeap], fiPort, nw.fanouts[t][k], int(p))
+					gd := die*n + d
+					fiHeap := (n + lt) / 2
+					fiPort := (n + lt) % 2
+					ch := nw.channel(a, nw.fanins[gd][fiHeap], fiPort, nw.fanouts[t][k], int(p))
 					if nw.shardOf != nil {
-						if st, sd := nw.shardOf[t], nw.shardOf[d]; st != sd {
+						if st, sd := nw.shardOf[t], nw.shardOf[gd]; st != sd {
 							ch.Fwd = nw.group.Cross(st, sd)
 							ch.Back = nw.group.Cross(sd, st)
 						}
 					}
 					nw.fanouts[t][k].ConnectOutput(p, ch)
-					nw.fanins[d][fiHeap].ConnectInput(fiPort, ch)
+					nw.fanins[gd][fiHeap].ConnectInput(fiPort, ch)
 				}
 			}
 		}
@@ -488,6 +595,12 @@ func (nw *Network) build() {
 		nw.fanins[t][1].ConnectOutput(sinkCh)
 		nw.sinks[t].in = sinkCh
 	}
+	if nw.Spec.Chiplet != nil {
+		nw.egress = make([]*d2dEgress, nw.Spec.Dies())
+		for die := range nw.egress {
+			nw.egress[die] = newD2DEgress(nw, die)
+		}
+	}
 }
 
 // Inject creates a logical packet from src to dests at the current
@@ -501,32 +614,88 @@ func (nw *Network) build() {
 // flit copy is delivered or absorbed, so callers must not read it after
 // advancing the scheduler.
 func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error) {
+	if nw.Spec.Chiplet != nil {
+		return nil, fmt.Errorf("network %s: flat Inject cannot address a chiplet composition; use InjectWide", nw.Spec.Name)
+	}
 	if src < 0 || src >= nw.Spec.N {
 		return nil, fmt.Errorf("network %s: source %d out of range", nw.Spec.Name, src)
 	}
 	if dests.Empty() {
 		return nil, fmt.Errorf("network %s: empty destination set", nw.Spec.Name)
 	}
-	a := nw.actxFor(src)
+	return nw.injectLeg(src, src, dests, nw.actxFor(src).sched.Now(), 0)
+}
+
+// InjectWide injects a hierarchically addressed packet on a chiplet
+// composition: src is a global terminal and byDie carries one local
+// destination mask per die (at least one non-empty). The source die's
+// leg — if any — enters its fanout fabric immediately; every remote
+// die's leg queues at the source die's egress gateway, crosses the
+// interposer, and re-injects into the target die on arrival. Each leg
+// is an independently tracked packet whose latency is measured from
+// this call, so D2D transit time lands in the D2D latency class.
+func (nw *Network) InjectWide(src int, byDie []packet.DestSet) error {
+	if nw.Spec.Chiplet == nil {
+		return fmt.Errorf("network %s: InjectWide requires a chiplet composition (use Inject)", nw.Spec.Name)
+	}
+	if src < 0 || src >= nw.Spec.Terminals() {
+		return fmt.Errorf("network %s: source %d out of range", nw.Spec.Name, src)
+	}
+	if len(byDie) != nw.Spec.Dies() {
+		return fmt.Errorf("network %s: destination masks for %d die(s), composition has %d", nw.Spec.Name, len(byDie), nw.Spec.Dies())
+	}
+	srcDie := src / nw.Spec.N
+	now := nw.actxFor(src).sched.Now()
+	any := false
+	for die, dests := range byDie {
+		if dests.Empty() {
+			continue
+		}
+		any = true
+		if die == srcDie {
+			if _, err := nw.injectLeg(src, src, dests, now, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		nw.egress[srcDie].push(d2dLeg{dstDie: die, src: src, dests: dests, created: now})
+	}
+	if !any {
+		return fmt.Errorf("network %s: empty destination set", nw.Spec.Name)
+	}
+	return nil
+}
+
+// injectLeg creates one physical injection through terminal anchor's
+// source interface: origin is the original (global) injecting source
+// recorded on the packet, dests the destination mask local to anchor's
+// die, created the logical creation time latency is measured from, and
+// hops the D2D mesh distance already crossed (0 for intra-die legs).
+// The single-die Inject path is injectLeg(src, src, dests, now, 0) —
+// byte-identical to the historical inline body.
+func (nw *Network) injectLeg(anchor, origin int, dests packet.DestSet, created sim.Time, hops int) (*packet.Packet, error) {
+	a := nw.actxFor(anchor)
 	now := a.sched.Now()
 	p := a.allocPacket()
 	a.assignID(p)
-	p.Src = src
+	p.Src = origin
+	p.Owner = int32(anchor) + 1
+	p.D2DHops = uint8(hops)
 	p.Dests = dests
 	p.Length = nw.Spec.PacketLen
-	p.CreatedAt = int64(now)
-	a.recCreated(p, now)
+	p.CreatedAt = int64(created)
+	a.recCreated(p, created)
 	if nw.Trace != nil {
 		a.trace(TraceEvent{Kind: TraceInject, At: now, Flit: packet.Flit{Pkt: p}})
 	}
 	a.planBuf = a.planBuf[:0]
-	if err := nw.strat.Plan(nw.fabric, src, dests, a.emitPlan); err != nil {
+	if err := nw.strat.Plan(nw.fabric, anchor%nw.Spec.N, dests, a.emitPlan); err != nil {
 		return nil, err
 	}
 	plans := a.planBuf
 	if !nw.Spec.Serial && len(plans) == 1 && plans[0].Dests == dests {
 		p.Route = plans[0].Route
-		nw.sources[src].enqueue(p)
+		nw.sources[anchor].enqueue(p)
 		return p, nil
 	}
 	// Expanded plan: the logical parent's refcount holds one reference
@@ -537,15 +706,108 @@ func (nw *Network) Inject(src int, dests packet.DestSet) (*packet.Packet, error)
 	for i := range plans {
 		clone := a.allocPacket()
 		a.assignID(clone)
-		clone.Src = src
+		clone.Src = origin
+		clone.Owner = p.Owner
+		clone.D2DHops = p.D2DHops
 		clone.Dests = plans[i].Dests
 		clone.Length = nw.Spec.PacketLen
 		clone.Route = plans[i].Route
 		clone.Parent = p
-		clone.CreatedAt = int64(now)
-		nw.sources[src].enqueue(clone)
+		clone.CreatedAt = int64(created)
+		nw.sources[anchor].enqueue(clone)
 	}
 	return p, nil
+}
+
+// d2dLeg is one cross-die delivery awaiting (or crossing) the
+// interposer: plain values only — the leg's Packet is allocated at
+// ingress by the target die's accounting context, so every pooling
+// operation stays on the packet's owning shard.
+type d2dLeg struct {
+	dstDie  int
+	src     int // original global source terminal
+	dests   packet.DestSet
+	created sim.Time
+}
+
+// d2dEgress is one die's die-to-die gateway: an output queue serialized
+// one packet at a time onto the interposer link (PacketLen flits at
+// FlitSerPs each), charging the D2D link energy and launching one
+// in-flight carrier per departure. It lives on its die's shard; the
+// hop-delayed arrival is the only event that crosses shard regions in a
+// die-partitioned build.
+type d2dEgress struct {
+	nw    *Network
+	a     *actx
+	die   int
+	queue pool.Ring[d2dLeg]
+	busy  bool
+}
+
+func newD2DEgress(nw *Network, die int) *d2dEgress {
+	return &d2dEgress{nw: nw, a: nw.actxFor(die * nw.Spec.N), die: die}
+}
+
+func (eg *d2dEgress) push(l d2dLeg) {
+	eg.queue.Push(l)
+	eg.pump()
+}
+
+// pump starts serializing the head-of-line leg when the link is idle.
+func (eg *d2dEgress) pump() {
+	if eg.busy || eg.queue.Len() == 0 {
+		return
+	}
+	eg.busy = true
+	ser := sim.Time(eg.nw.Spec.PacketLen) * eg.nw.Spec.Chiplet.FlitSerPs()
+	eg.a.sched.In(ser, eg, 0)
+}
+
+// OnEvent implements sim.Handler: serialization of the head leg is
+// complete — charge the link energy, launch the in-flight carrier
+// toward its die, and free the link for the next leg.
+func (eg *d2dEgress) OnEvent(int64) {
+	l := eg.queue.Pop()
+	cp := eg.nw.Spec.Chiplet
+	hops := cp.Hops(eg.die, l.dstDie)
+	flitHops := eg.nw.Spec.PacketLen * hops
+	eg.a.meterD2D(flitHops, float64(flitHops)*cp.FlitHopPJ())
+	// One fresh carrier per crossing: it becomes garbage after arrival,
+	// so concurrent crossings share no mutable state across shards.
+	fl := &d2dFlight{nw: eg.nw, leg: l, hops: hops}
+	delay := sim.Time(hops) * cp.HopPs
+	if nw := eg.nw; nw.shardOf != nil {
+		st, sd := nw.shardOf[eg.die*nw.Spec.N], nw.shardOf[l.dstDie*nw.Spec.N]
+		if st != sd {
+			nw.group.Cross(st, sd).Send(delay, fl, 0)
+		} else {
+			eg.a.sched.In(delay, fl, 0)
+		}
+	} else {
+		eg.a.sched.In(delay, fl, 0)
+	}
+	eg.busy = false
+	eg.pump()
+}
+
+// d2dFlight is one packet crossing the interposer. Arrival re-injects
+// the leg into the target die's fanout fabric through a deterministic
+// anchor terminal: the target die's tree with the source's local index,
+// so ingress load spreads across the die exactly like the die's own
+// sources.
+type d2dFlight struct {
+	nw   *Network
+	leg  d2dLeg
+	hops int
+}
+
+// OnEvent implements sim.Handler (runs on the target die's shard).
+func (fl *d2dFlight) OnEvent(int64) {
+	nw := fl.nw
+	anchor := fl.leg.dstDie*nw.Spec.N + fl.leg.src%nw.Spec.N
+	if _, err := nw.injectLeg(anchor, fl.leg.src, fl.leg.dests, fl.leg.created, fl.hops); err != nil {
+		panic(fault.Violationf("network", "d2d ingress at die %d: %v", fl.leg.dstDie, err))
+	}
 }
 
 // SourceQueueLen returns the backlog (in flits) of one source interface.
@@ -587,7 +849,7 @@ func (nw *Network) StuckFlits() []StuckFlit {
 		out = append(out, StuckFlit{Where: where, Flit: f.String()})
 	}
 	n := nw.Spec.N
-	for t := 0; t < n; t++ {
+	for t := 0; t < nw.Spec.Terminals(); t++ {
 		q := &nw.sources[t].queue
 		for i := 0; i < q.Len(); i++ {
 			add(fmt.Sprintf("source %d queue", t), q.At(i))
@@ -858,9 +1120,12 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	if !ni.rxOn {
 		// Fault layer disabled: the legacy path, bit-identical to the
 		// pre-fault model.
-		ni.a.recDelivered(now)
+		ni.a.recDelivered(now, f.Pkt.D2DHops > 0)
 		if f.IsHeader() {
-			ni.a.recHeader(f.Pkt, ni.dest, now)
+			// The recorder tracks die-local destination masks, so membership
+			// is checked against the sink's index within its die (identical
+			// to ni.dest on single-die networks).
+			ni.a.recHeader(f.Pkt, ni.dest%ni.nw.Spec.N, now)
 		}
 		if ni.nw.Trace != nil {
 			ni.a.trace(TraceEvent{Kind: TraceDeliver, At: now, Flit: f, Dest: ni.dest})
@@ -892,7 +1157,7 @@ func (ni *SinkNI) OnFlit(_ int, f packet.Flit) {
 	if f.Attempt > 0 {
 		ni.nw.inj.Stats.RecoveredFlits++
 	}
-	ni.nw.Rec.FlitDelivered(now)
+	ni.nw.Rec.FlitDelivered(now, false)
 	if f.IsHeader() {
 		ni.nw.Rec.HeaderArrived(f.Pkt, ni.dest, now)
 	}

@@ -43,6 +43,7 @@ const (
 	effMeterAbsorb
 	effMeterChannel
 	effMeterInterface
+	effMeterD2D
 	effRecForwarded
 	effRecThrottled
 	effRecDelivered
@@ -164,6 +165,17 @@ func (a *actx) meterInterface() {
 	a.push(effect{kind: effMeterInterface, at: a.sched.Now()})
 }
 
+// meterD2D charges one die-to-die link departure: flitHops flit-hop
+// crossings costing pj picojoules (area carries the energy, n the hop
+// count — the effect struct's spare fields).
+func (a *actx) meterD2D(flitHops int, pj float64) {
+	if a.rt == nil {
+		a.nw.Meter.D2D(flitHops, pj)
+		return
+	}
+	a.push(effect{kind: effMeterD2D, at: a.sched.Now(), n: int32(flitHops), area: pj})
+}
+
 func (a *actx) recForwarded(level int, at sim.Time) {
 	if a.rt == nil {
 		a.nw.Rec.FanoutForwarded(level, at)
@@ -180,12 +192,16 @@ func (a *actx) recThrottled(level int, at sim.Time) {
 	a.push(effect{kind: effRecThrottled, at: at, n: int32(level)})
 }
 
-func (a *actx) recDelivered(at sim.Time) {
+func (a *actx) recDelivered(at sim.Time, d2d bool) {
 	if a.rt == nil {
-		a.nw.Rec.FlitDelivered(at)
+		a.nw.Rec.FlitDelivered(at, d2d)
 		return
 	}
-	a.push(effect{kind: effRecDelivered, at: at})
+	var n int32
+	if d2d {
+		n = 1
+	}
+	a.push(effect{kind: effRecDelivered, at: at, n: n})
 }
 
 func (a *actx) recCreated(p *packet.Packet, at sim.Time) {
@@ -312,12 +328,15 @@ func (nw *Network) applyEffect(e *effect) {
 	case effMeterInterface:
 		nw.replayAt = e.at
 		nw.Meter.Interface()
+	case effMeterD2D:
+		nw.replayAt = e.at
+		nw.Meter.D2D(int(e.n), e.area)
 	case effRecForwarded:
 		nw.Rec.FanoutForwarded(int(e.n), e.at)
 	case effRecThrottled:
 		nw.Rec.FanoutThrottled(int(e.n), e.at)
 	case effRecDelivered:
-		nw.Rec.FlitDelivered(e.at)
+		nw.Rec.FlitDelivered(e.at, e.n != 0)
 	case effRecCreated:
 		nw.Rec.PacketCreated(e.pkt, e.at)
 	case effRecHeader:
@@ -345,35 +364,43 @@ func ShardLookahead(p timing.Protocol) sim.Time {
 }
 
 // NewSharded builds a network partitioned into k regions, each driven by
-// its own scheduler shard under conservative lookahead. Tree t (its
-// fanout tree, fanin tree, source, and sink) belongs to region t*k/N, so
-// regions are contiguous tree ranges and the only cross-region edges are
-// leaf crossings. Requires 2 <= k <= N and the fault layer disabled: the
-// fault stream and retransmission bookkeeping are global mutable state
-// on the window-time path (internal/core silently falls back to serial
-// in both cases).
+// its own scheduler shard under conservative lookahead. On a single die,
+// tree t (its fanout tree, fanin tree, source, and sink) belongs to
+// region t*k/N, so regions are contiguous tree ranges and the only
+// cross-region edges are leaf crossings. On a chiplet composition whole
+// dies are assigned contiguously instead — die d to region d*k/Dies —
+// so every leaf crossing stays shard-local and the only cross-region
+// events are die-to-die flights (lookahead = the D2D hop time, which
+// dominates the wire flights). Requires 2 <= k <= spec.MaxShards() and
+// the fault layer disabled: the fault stream and retransmission
+// bookkeeping are global mutable state on the window-time path
+// (internal/core silently falls back to serial in both cases).
 //
 // Drive the result with Group().RunUntil — Sched is nil — and Close the
 // group when done. Results, goldens, and traces are byte-identical to
 // New(spec) driven to the same deadline.
 func NewSharded(spec Spec, k int) (*Network, error) {
-	if k < 2 || k > spec.N {
-		return nil, fmt.Errorf("network %s: shard count %d outside [2, %d]", spec.Name, k, spec.N)
-	}
 	if spec.Faults.Enabled() {
 		return nil, fmt.Errorf("network %s: sharded execution requires the fault layer disabled", spec.Name)
+	}
+	if maxK := spec.MaxShards(); k < 2 || k > maxK {
+		return nil, fmt.Errorf("network %s: shard count %d outside [2, %d]", spec.Name, k, maxK)
 	}
 	nw, err := newBase(spec)
 	if err != nil {
 		return nil, err
 	}
-	group := sim.NewShardGroup(k, ShardLookahead(spec.Protocol))
+	group := sim.NewShardGroup(k, sim.Time(spec.ShardLookaheadPs()))
 	nw.group = group
 	nw.Meter = power.NewMeter(func() sim.Time { return nw.replayAt })
 	nw.pooling = true
-	nw.shardOf = make([]int, spec.N)
+	nw.shardOf = make([]int, spec.Terminals())
 	for t := range nw.shardOf {
-		nw.shardOf[t] = t * k / spec.N
+		if spec.Chiplet != nil {
+			nw.shardOf[t] = (t / spec.N) * k / spec.Dies()
+		} else {
+			nw.shardOf[t] = t * k / spec.N
+		}
 	}
 	nw.rts = make([]*shardRT, k)
 	for i := range nw.rts {

@@ -30,14 +30,14 @@ func AttachVCD(nw *Network, out io.Writer) (*VCDRecorder, error) {
 		thr: map[[2]int]*vcd.Var{},
 	}
 	n := nw.Spec.N
-	for t := 0; t < n; t++ {
+	for t := 0; t < nw.Spec.Terminals(); t++ {
 		scope := fmt.Sprintf("tree%d", t)
 		for k := 1; k < n; k++ {
 			rec.fwd[[2]int{t, k}] = rec.w.AddWire(scope, fmt.Sprintf("fo%d_req", k), 1)
 			rec.thr[[2]int{t, k}] = rec.w.AddWire(scope, fmt.Sprintf("fo%d_throttle", k), 1)
 		}
 	}
-	for d := 0; d < n; d++ {
+	for d := 0; d < nw.Spec.Terminals(); d++ {
 		rec.deliver = append(rec.deliver, rec.w.AddWire("sinks", fmt.Sprintf("dest%d_req", d), 1))
 	}
 	rec.throttled = rec.w.AddWire("sinks", "throttled_flits", 32)

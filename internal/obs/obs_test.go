@@ -106,13 +106,13 @@ func TestTracePreservesChainedObserver(t *testing.T) {
 
 func TestValidateTraceRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
-		"not json":          "garbage\n",
-		"unknown kind":      `{"kind":"warp","t":1,"pkt":1,"src":0}` + "\n",
-		"missing field":     `{"kind":"deliver","t":1,"pkt":1,"src":0,"flit":0,"attempt":0}` + "\n",
-		"extra field":       `{"kind":"drop","t":1,"pkt":1,"src":0,"attempt":1,"bogus":2}` + "\n",
-		"float timestamp":   `{"kind":"drop","t":1.5,"pkt":1,"src":0,"attempt":1}` + "\n",
-		"negative time":     `{"kind":"drop","t":-1,"pkt":1,"src":0,"attempt":1}` + "\n",
-		"empty dests":       `{"kind":"inject","t":1,"pkt":1,"src":0,"dests":[]}` + "\n",
+		"not json":        "garbage\n",
+		"unknown kind":    `{"kind":"warp","t":1,"pkt":1,"src":0}` + "\n",
+		"missing field":   `{"kind":"deliver","t":1,"pkt":1,"src":0,"flit":0,"attempt":0}` + "\n",
+		"extra field":     `{"kind":"drop","t":1,"pkt":1,"src":0,"attempt":1,"bogus":2}` + "\n",
+		"float timestamp": `{"kind":"drop","t":1.5,"pkt":1,"src":0,"attempt":1}` + "\n",
+		"negative time":   `{"kind":"drop","t":-1,"pkt":1,"src":0,"attempt":1}` + "\n",
+		"empty dests":     `{"kind":"inject","t":1,"pkt":1,"src":0,"dests":[]}` + "\n",
 		"time goes back": `{"kind":"drop","t":5,"pkt":1,"src":0,"attempt":1}` + "\n" +
 			`{"kind":"drop","t":4,"pkt":1,"src":0,"attempt":1}` + "\n",
 	}

@@ -16,6 +16,11 @@ import (
 	"asyncnoc/internal/pool"
 )
 
+// MaxDests is the widest destination space one DestSet can address.
+// Larger systems go through the chiplet composition layer, which
+// carries one local DestSet per die.
+const MaxDests = 64
+
 // DestSet is a bitmask over destination terminal indices (bit d set means
 // destination d is addressed). It supports networks of up to 64 terminals
 // per side, far beyond the 8x8 and 16x16 MoTs studied in the paper.
@@ -149,6 +154,18 @@ type Packet struct {
 	// CreatedAt is the generation timestamp in picoseconds, recorded by
 	// the network interface for latency accounting.
 	CreatedAt int64
+	// Owner is 1 + the terminal whose injection context allocated this
+	// packet (0 means "use Src"). On chiplet-composed networks a
+	// die-to-die leg is materialized at the ingress die, whose terminal
+	// differs from the packet's original Src; every pooling operation
+	// must route through the allocating context, so the owner is
+	// carried explicitly.
+	Owner int32
+	// D2DHops is the number of die-to-die mesh hops this packet (or leg)
+	// crossed before injection into its fanout tree; 0 on single-die
+	// networks and intra-die traffic. It classifies deliveries into the
+	// intra-die vs D2D hierarchy levels of the reports.
+	D2DHops uint8
 
 	// Refs and TxSlot are per-run pool bookkeeping managed by the owning
 	// network (see internal/network): Refs counts the packet's live flit

@@ -63,6 +63,10 @@ type Meter struct {
 	BackgroundMW float64
 
 	energyPJ float64
+	// d2dPJ is the die-to-die link share of energyPJ (chiplet
+	// compositions only); d2dFlitHops counts flit-hop crossings.
+	d2dPJ       float64
+	d2dFlitHops int64
 	// event counters (diagnostics and tests)
 	nodeForwards, nodeAbsorbs, channelFlights, interfaceOps int64
 }
@@ -120,8 +124,38 @@ func (m *Meter) Interface() {
 	m.energyPJ += m.Model.InterfacePJ
 }
 
+// D2D charges a die-to-die link transfer: flitHops flit-hop crossings
+// costing pj picojoules total. The energy lands in both the network
+// total and the D2D breakout, so the hierarchy-level power tables
+// decompose the same total the single-die path reports.
+func (m *Meter) D2D(flitHops int, pj float64) {
+	if !m.inWindow() {
+		return
+	}
+	m.d2dFlitHops += int64(flitHops)
+	m.d2dPJ += pj
+	m.energyPJ += pj
+}
+
 // EnergyPJ returns the accumulated energy.
 func (m *Meter) EnergyPJ() float64 { return m.energyPJ }
+
+// D2DEnergyPJ returns the die-to-die link share of the accumulated
+// energy (zero on single-die networks).
+func (m *Meter) D2DEnergyPJ() float64 { return m.d2dPJ }
+
+// D2DFlitHops returns how many flit-hop D2D crossings were charged
+// inside the window.
+func (m *Meter) D2DFlitHops() int64 { return m.d2dFlitHops }
+
+// D2DPowerMW returns the average D2D link power over the window.
+func (m *Meter) D2DPowerMW() float64 {
+	w := m.WindowEnd - m.WindowStart
+	if w <= 0 {
+		return 0
+	}
+	return m.d2dPJ / w.Nanoseconds()
+}
 
 // PowerMW returns the average power over the window: pJ / ns == mW.
 func (m *Meter) PowerMW() float64 {

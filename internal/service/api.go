@@ -13,11 +13,24 @@ package service
 import (
 	"fmt"
 
+	"asyncnoc/internal/chiplet"
 	"asyncnoc/internal/core"
 	"asyncnoc/internal/network"
 	"asyncnoc/internal/sim"
 	"asyncnoc/internal/traffic"
 )
+
+// benchFor resolves a benchmark reporting name against the spec's
+// topology: a composed (chiplet) spec needs the hierarchical wide
+// benchmarks; a single die uses the standard flat suite. Both sides of
+// the wire use this, so a name is expressible iff the server can
+// resolve it.
+func benchFor(spec network.Spec, name string) (traffic.Benchmark, error) {
+	if spec.Chiplet != nil {
+		return chiplet.ByName(spec.Chiplet, spec.N, name)
+	}
+	return traffic.ByName(spec.N, name)
+}
 
 // RunRequest submits one simulation (POST /v1/run).
 type RunRequest struct {
@@ -40,7 +53,7 @@ type RunRequest struct {
 
 // Config resolves the request into an engine-ready RunConfig.
 func (r RunRequest) Config() (core.RunConfig, error) {
-	bench, err := traffic.ByName(r.Spec.N, r.Bench)
+	bench, err := benchFor(r.Spec, r.Bench)
 	if err != nil {
 		return core.RunConfig{}, err
 	}
@@ -71,7 +84,7 @@ func newRunRequest(spec network.Spec, cfg core.RunConfig) (RunRequest, error) {
 	if cfg.Bench != nil {
 		name = cfg.Bench.Name()
 	}
-	if _, err := traffic.ByName(spec.N, name); err != nil {
+	if _, err := benchFor(spec, name); err != nil {
 		return RunRequest{}, fmt.Errorf("service: benchmark %q is not expressible over the API: %w", name, err)
 	}
 	return RunRequest{

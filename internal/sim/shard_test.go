@@ -249,4 +249,3 @@ func TestCrossShardLookaheadViolationPanics(t *testing.T) {
 	}()
 	ref.Send(49, &funcEvent{fn: func() {}}, 0)
 }
-

@@ -22,6 +22,18 @@ type Benchmark interface {
 	NextDests(src int, r *rng.Source) packet.DestSet
 }
 
+// WideBenchmark generates hierarchical destination sets for networks
+// with more than 64 terminals, where one DestSet mask cannot span the
+// destination space. NextWideDests fills byDie (one local destination
+// mask per die, caller-allocated and reused across calls) with the next
+// packet's destinations; at least one entry ends up non-empty. Wide
+// benchmarks typically panic from NextDests — the run harness selects
+// the wide path whenever the spec is chiplet-composed.
+type WideBenchmark interface {
+	Benchmark
+	NextWideDests(src int, byDie []packet.DestSet, r *rng.Source)
+}
+
 // UniformRandom sends each packet to one uniformly random destination.
 type UniformRandom struct{ N int }
 
