@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke service-smoke fuzz-smoke test-routing shard-determinism chiplet-smoke chiplet-scale ci experiments clean
+.PHONY: all build test vet lint vuln race soak obs-smoke bench-smoke shard-speedup service-smoke fuzz-smoke test-routing shard-determinism chiplet-smoke chiplet-scale ci experiments clean
 
 all: build
 
@@ -75,10 +75,20 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkNITransaction|BenchmarkStrategy' -benchmem ./internal/network | tee bin/bench_ni.txt
 	ASYNCNOC_WORKERS=1 $(GO) test -run '^$$' -bench 'BenchmarkFig6aLatency' -benchtime 1x -benchmem . | tee bin/bench_fig6a.txt
 	ASYNCNOC_WORKERS=1 $(GO) test -run '^$$' -bench 'BenchmarkChipletHierarchy' -benchtime 1x -benchmem . | tee bin/bench_chiplet.txt
-	./bin/benchguard -baseline bench/baseline.json $(BENCHGUARD_FLAGS) bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt bin/bench_chiplet.txt
+	./bin/benchguard -baseline bench/baseline.json -json bench/BENCH_shard.json $(BENCHGUARD_FLAGS) bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt bin/bench_chiplet.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bin/bench_kernel.txt bin/bench_ni.txt bin/bench_fig6a.txt bin/bench_chiplet.txt; \
 	fi
+
+# shard-speedup is the multi-core gate behind the sharding work: the
+# 8-shard Fig6a regeneration must beat the serial run by >= 2x wall
+# clock with persistent workers actually running in parallel. The script
+# asks benchguard -print-numcpu first and skips with a notice on fewer
+# than 4 cores (where no parallel speedup is measurable; the single-core
+# overhead ratchet in bench-smoke still applies there). Measured numbers
+# land machine-readably in bench/BENCH_shard.json.
+shard-speedup:
+	sh scripts/shard_speedup.sh
 
 # service-smoke exercises simulation-as-a-service end to end: asyncnocd
 # starts on an ephemeral port over a temp cache dir, the same Fig6a-point
@@ -143,8 +153,9 @@ chiplet-scale:
 # ci is the gate: vet, build, the full suite under the race detector
 # (engine determinism, property, and fault-layer tests included), the
 # fault soak, the observability smoke, the hot-path benchmark guard, the
-# service and store-fuzz smokes, and the optional static analyzers.
-ci: vet build test-routing shard-determinism chiplet-smoke race soak obs-smoke bench-smoke service-smoke fuzz-smoke lint vuln
+# multi-core shard speedup gate (self-skips below 4 cores), the service
+# and store-fuzz smokes, and the optional static analyzers.
+ci: vet build test-routing shard-determinism chiplet-smoke race soak obs-smoke bench-smoke shard-speedup service-smoke fuzz-smoke lint vuln
 
 # experiments regenerates the paper's tables at CI scale.
 experiments:

@@ -131,6 +131,14 @@ type UtilizationInstrument = network.UtilizationInstrument
 // into Out; after the run its Sink field exposes the event count.
 type TraceInstrument = obs.TraceInstrument
 
+// ShardStatsInstrument captures the shard group's window/barrier
+// counters from one sharded run (motsim -shard-stats); after the run
+// its Stats method returns them.
+type ShardStatsInstrument = core.ShardStatsInstrument
+
+// ShardStats holds a sharded run's window/barrier diagnostics.
+type ShardStats = sim.ShardStats
+
 // RunResult carries one run's measurements.
 type RunResult = core.RunResult
 

@@ -103,35 +103,48 @@ func chipletTracedRun(t *testing.T, spec asyncnoc.NetworkSpec, shards int) (asyn
 
 // TestChipletShardDeterminism extends the shard-determinism contract to
 // the composed topology: one die per shard region, results and traces
-// byte-identical at shards 1, 2, and 4 under all five routing schemes.
+// byte-identical at every shard count under all five routing schemes.
+// The 2x2 composition covers the reference golden geometry; the 2x4
+// composition has eight dies, so shards=8 exercises the adaptive
+// horizon extension and coalesced barriers at the full shard fan-out
+// (every die its own region, every pair lookahead interposer-widened).
 func TestChipletShardDeterminism(t *testing.T) {
-	base := chipletSpec(t, "OptHybridSpeculative", 4, 2, 2)
-	specs := []asyncnoc.NetworkSpec{base}
-	for _, strat := range asyncnoc.StrategyNames() {
-		specs = append(specs, asyncnoc.WithStrategy(base, strat))
+	cases := []struct {
+		w, h int
+		ks   []int
+	}{
+		{2, 2, []int{2, 4}},
+		{2, 4, []int{2, 4, 8}},
 	}
-	for _, spec := range specs {
-		spec := spec
-		t.Run(spec.Name, func(t *testing.T) {
-			t.Parallel()
-			wantRes, wantTrace := chipletTracedRun(t, spec, 1)
-			if len(wantTrace) == 0 {
-				t.Fatal("serial reference produced an empty trace")
-			}
-			if wantRes.D2DMeasuredPackets == 0 {
-				t.Error("no D2D packets measured")
-			}
-			for _, k := range []int{2, 4} {
-				gotRes, gotTrace := chipletTracedRun(t, spec, k)
-				if gotRes != wantRes {
-					t.Errorf("shards=%d result diverged:\n got %+v\nwant %+v", k, gotRes, wantRes)
+	for _, c := range cases {
+		base := chipletSpec(t, "OptHybridSpeculative", 4, c.w, c.h)
+		specs := []asyncnoc.NetworkSpec{base}
+		for _, strat := range asyncnoc.StrategyNames() {
+			specs = append(specs, asyncnoc.WithStrategy(base, strat))
+		}
+		for _, spec := range specs {
+			spec, ks := spec, c.ks
+			t.Run(spec.Name, func(t *testing.T) {
+				t.Parallel()
+				wantRes, wantTrace := chipletTracedRun(t, spec, 1)
+				if len(wantTrace) == 0 {
+					t.Fatal("serial reference produced an empty trace")
 				}
-				if !bytes.Equal(gotTrace, wantTrace) {
-					t.Errorf("shards=%d trace differs from serial (%d vs %d bytes): %s",
-						k, len(gotTrace), len(wantTrace), firstTraceDiff(gotTrace, wantTrace))
+				if wantRes.D2DMeasuredPackets == 0 {
+					t.Error("no D2D packets measured")
 				}
-			}
-		})
+				for _, k := range ks {
+					gotRes, gotTrace := chipletTracedRun(t, spec, k)
+					if gotRes != wantRes {
+						t.Errorf("shards=%d result diverged:\n got %+v\nwant %+v", k, gotRes, wantRes)
+					}
+					if !bytes.Equal(gotTrace, wantTrace) {
+						t.Errorf("shards=%d trace differs from serial (%d vs %d bytes): %s",
+							k, len(gotTrace), len(wantTrace), firstTraceDiff(gotTrace, wantTrace))
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = memo only)")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "cache size budget; least-recently-accessed entries are evicted beyond it (0 = unbounded)")
 		workers    = flag.Int("workers", 0, "simulation parallelism (0 = $ASYNCNOC_WORKERS or GOMAXPROCS)")
 		maxQueue   = flag.Int("max-queue", service.DefaultMaxQueue, "admitted-job bound; arrivals beyond it are shed with 429")
 		reqTimeout = flag.Duration("request-timeout", service.DefaultRequestTimeout, "per-request deadline")
@@ -60,7 +61,15 @@ func main() {
 			fatal(err)
 		}
 		eng.SetStore(st)
-		fmt.Fprintf(os.Stderr, "asyncnocd: persistent store at %s\n", st.Dir())
+		if *cacheMax > 0 {
+			// The startup sweep trims a cache left oversized by an earlier
+			// run (or a larger budget) before any job is admitted.
+			st.SetMaxBytes(*cacheMax)
+			fmt.Fprintf(os.Stderr, "asyncnocd: persistent store at %s (budget %d bytes, %d evicted on startup)\n",
+				st.Dir(), *cacheMax, st.Stats().Evictions)
+		} else {
+			fmt.Fprintf(os.Stderr, "asyncnocd: persistent store at %s\n", st.Dir())
+		}
 	}
 
 	srv := service.NewServer(eng, eng.Store())
@@ -117,8 +126,8 @@ func main() {
 			fatal(err)
 		}
 		stats := st.Stats()
-		fmt.Fprintf(os.Stderr, "asyncnocd: store flushed (%d writes, %d hits, %d misses, %d corrupt healed)\n",
-			stats.Writes, stats.Hits, stats.Misses, stats.Corrupt)
+		fmt.Fprintf(os.Stderr, "asyncnocd: store flushed (%d writes, %d hits, %d misses, %d corrupt healed, %d evicted)\n",
+			stats.Writes, stats.Hits, stats.Misses, stats.Corrupt, stats.Evictions)
 	}
 	snap := srv.Snapshot()
 	fmt.Fprintf(os.Stderr, "asyncnocd: clean drain: %d jobs done, %d shed, %d refused while draining\n",

@@ -155,9 +155,9 @@ func main() {
 		// same run that inspects fanout efficiency usually wants to know
 		// whether the shared result cache is pulling its weight.
 		if snap := s.Engine().Snapshot(); snap.HasStore {
-			fmt.Printf("cache health: %d store hits, %d misses, %d corrupt entries healed, %d writes (%d errors)\n\n",
+			fmt.Printf("cache health: %d store hits, %d misses, %d corrupt entries healed, %d writes (%d errors), %d evicted\n\n",
 				snap.Store.Hits, snap.Store.Misses, snap.Store.Corrupt,
-				snap.Store.Writes, snap.Store.WriteErrors)
+				snap.Store.Writes, snap.Store.WriteErrors, snap.Store.Evictions)
 		}
 	}
 

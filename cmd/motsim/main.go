@@ -58,6 +58,7 @@ func main() {
 		list        = flag.Bool("list", false, "list network and benchmark names")
 		vcdPath     = flag.String("vcd", "", "dump handshake activity to this VCD file")
 		util        = flag.Bool("util", false, "print per-level fanout utilization after the run")
+		shardStats  = flag.Bool("shard-stats", false, "print the sharded-execution window/barrier counters after the run")
 		draw        = flag.Bool("draw", false, "print the fanout-tree placement diagram and exit")
 		hist        = flag.Bool("hist", false, "print a latency histogram after the run")
 		traceOut    = flag.String("trace-out", "", "stream the flit-lifecycle trace to this JSONL file (with -sat, traces the run at the saturation load)")
@@ -114,7 +115,7 @@ func main() {
 	}
 
 	if sel.Kind == "mesh" {
-		if *sat || *util || *hist || *draw || *vcdPath != "" || *traceOut != "" || *dests != "" {
+		if *sat || *util || *hist || *draw || *shardStats || *vcdPath != "" || *traceOut != "" || *dests != "" {
 			fatal(fmt.Errorf("-topology mesh:%dx%d supports only plain fixed-load runs", sel.W, sel.H))
 		}
 		bench, err := sel.Bench(*n, *benchName)
@@ -231,6 +232,11 @@ func main() {
 		return
 	}
 
+	var ssIns *asyncnoc.ShardStatsInstrument
+	if *shardStats {
+		ssIns = &asyncnoc.ShardStatsInstrument{Timing: true}
+		cfg.Instruments = append(cfg.Instruments, ssIns)
+	}
 	var res asyncnoc.RunResult
 	if *util || *hist || *vcdPath != "" || *traceOut != "" {
 		r, err := runInstrumented(spec, cfg, *traceOut, *util, *hist, *vcdPath)
@@ -252,6 +258,27 @@ func main() {
 		res = r
 	}
 	printResult(res, &spec)
+	if ssIns != nil {
+		printShardStats(ssIns)
+	}
+}
+
+// printShardStats prints the sharded-execution diagnostics captured by
+// the -shard-stats instrument.
+func printShardStats(ins *asyncnoc.ShardStatsInstrument) {
+	s, shards, parallel := ins.Stats()
+	if s.Barriers == 0 {
+		fmt.Printf("shard stats:      serial run (no shard group; use -shards)\n")
+		return
+	}
+	exec := "inline"
+	if parallel {
+		exec = "parallel"
+	}
+	fmt.Printf("shard stats:      shards=%d exec=%s barriers=%d windows=%d extended=%d coalesced=%d\n",
+		shards, exec, s.Barriers, s.Windows, s.ExtendedWindows, s.CoalescedReplays)
+	fmt.Printf("                  merged=%d mailbox=%d held=%d barrier-time=%.3fs\n",
+		s.MergedDispatches, s.MailboxEvents, s.HeldMail, float64(s.BarrierNs)/1e9)
 }
 
 // printResult prints the standard measurement block, the hierarchy

@@ -87,8 +87,19 @@ func main() {
 		fatal(fmt.Errorf("cached result differs from computed result"))
 	}
 
-	// The committed entry is addressable by its job key.
-	if job, ok, err := c.Job(ctx, first.Key); err != nil || !ok {
+	// The committed entry is addressable by its job key. Commits are
+	// write-behind, so the entry may land a moment after the run response;
+	// poll briefly instead of racing the background writer.
+	var job asyncnoc.RunResponse
+	var ok bool
+	for i := 0; ; i++ {
+		job, ok, err = c.Job(ctx, first.Key)
+		if err != nil || ok || i >= 40 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil || !ok {
 		fatal(fmt.Errorf("GET /v1/jobs/%s: ok=%v err=%v", first.Key, ok, err))
 	} else if j, _ := json.Marshal(job.Result); string(j) != string(a) {
 		fatal(fmt.Errorf("stored entry differs from run response"))

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"asyncnoc/internal/network"
+	"asyncnoc/internal/sim"
 )
 
 // WorkersEnv is the environment variable consulted for the default pool
@@ -67,6 +68,25 @@ func DefaultShards() int {
 	return 1
 }
 
+// ShardExecEnv selects the shard-group execution backend: "parallel"
+// forces the persistent worker goroutines, "inline" forces coordinator-
+// inline windows, anything else (including unset) keeps the group's
+// GOMAXPROCS-based default. Results are byte-identical either way —
+// the knob exists for benchmarking and for pinning determinism tests to
+// a specific backend.
+const ShardExecEnv = "ASYNCNOC_SHARD_EXEC"
+
+// applyShardExec applies the ShardExecEnv override to a freshly built
+// shard group.
+func applyShardExec(g *sim.ShardGroup) {
+	switch os.Getenv(ShardExecEnv) {
+	case "parallel":
+		g.SetParallel(true)
+	case "inline":
+		g.SetParallel(false)
+	}
+}
+
 // DefaultMemoCapacity bounds the engine's result memo. A RunResult is a
 // few hundred bytes, so even the full evaluation suite (a few thousand
 // simulations) fits comfortably.
@@ -98,10 +118,12 @@ func JobKey(spec network.Spec, cfg RunConfig) string {
 // StoreStats carries a persistent result store's health counters. Hits
 // and Misses count read-throughs (a Corrupt entry also counts as a
 // miss — it was deleted and recomputed); Writes and WriteErrors count
-// write-behind commits.
+// write-behind commits; Evictions counts entries removed by the
+// size-budget garbage collector (oldest-access first).
 type StoreStats struct {
 	Hits, Misses, Corrupt uint64
 	Writes, WriteErrors   uint64
+	Evictions             uint64
 }
 
 // ResultStore is the persistent layer behind the in-memory memo: a

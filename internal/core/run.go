@@ -422,6 +422,9 @@ func Build(spec network.Spec, cfg RunConfig) (*network.Network, error) {
 	var err error
 	if k := resolveShards(spec, cfg); k > 1 {
 		nw, err = network.NewSharded(spec, k)
+		if err == nil {
+			applyShardExec(nw.Group())
+		}
 	} else {
 		nw, err = network.New(spec)
 	}

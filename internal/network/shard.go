@@ -121,10 +121,20 @@ func (a *actx) allocPacket() *packet.Packet {
 // push appends one deferred effect to the shard's log.
 func (a *actx) push(e effect) {
 	rt := a.rt
-	if rt.cursor > 0 && rt.cursor == len(rt.effects) {
-		// The previous window's log was fully replayed; recycle it.
-		rt.effects = rt.effects[:0]
-		rt.cursor = 0
+	if rt.cursor > 0 {
+		if rt.cursor == len(rt.effects) {
+			// The log was fully replayed; recycle it.
+			rt.effects = rt.effects[:0]
+			rt.cursor = 0
+		} else if rt.cursor >= 256 && rt.cursor*2 >= len(rt.effects) {
+			// Coalesced barriers replay the log in partial stretches, so
+			// it may never drain completely — compact the consumed prefix
+			// once it dominates, keeping the log bounded by the group's
+			// replay backlog instead of growing for the whole run.
+			n := copy(rt.effects, rt.effects[rt.cursor:])
+			rt.effects = rt.effects[:n]
+			rt.cursor = 0
+		}
 	}
 	e.dIdx = a.sched.DispatchIndex()
 	if e.dIdx < 0 {
@@ -402,10 +412,39 @@ func NewSharded(spec Spec, k int) (*Network, error) {
 			nw.shardOf[t] = t * k / spec.N
 		}
 	}
+	if cp := spec.Chiplet; cp != nil {
+		// Widen the pair lookaheads to the interposer distance: every
+		// event between shard regions a and b is a D2D flight of at least
+		// minHops(a,b) hops, so the adaptive horizon computation can run
+		// distant regions minHops*HopPs apart between barriers.
+		dies := spec.Dies()
+		minHops := make([]sim.Time, k*k)
+		for d1 := 0; d1 < dies; d1++ {
+			r1 := d1 * k / dies
+			for d2 := 0; d2 < dies; d2++ {
+				r2 := d2 * k / dies
+				if r1 == r2 {
+					continue
+				}
+				h := sim.Time(cp.Hops(d1, d2))
+				if cur := minHops[r1*k+r2]; cur == 0 || h < cur {
+					minHops[r1*k+r2] = h
+				}
+			}
+		}
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				if h := minHops[a*k+b]; h > 1 {
+					group.SetLookahead(a, b, h*cp.HopPs)
+				}
+			}
+		}
+	}
 	nw.rts = make([]*shardRT, k)
 	for i := range nw.rts {
 		rt := &shardRT{}
 		rt.ctx.init(nw, group.Shard(i), rt)
+		rt.effects = make([]effect, 0, 1024)
 		nw.rts[i] = rt
 	}
 	nw.build()

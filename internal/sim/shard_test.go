@@ -19,6 +19,14 @@ import (
 
 const testLookahead = Time(50)
 
+// pairLookahead is the non-uniform lookahead floor between shard regions
+// a and b used by the pairwise variant: every pair at or above the
+// group's base lookahead, most pairs strictly above it. Deterministic in
+// (a, b) so the serial reference applies the identical delay floor.
+func pairLookahead(a, b int) Time {
+	return testLookahead + Time((a*7+b*13)%4)*25
+}
+
 // xorshift is a tiny deterministic PRNG so the test does not depend on
 // other packages.
 type xorshift uint64
@@ -45,11 +53,21 @@ type dispatchLogEntry struct {
 type tmodel struct {
 	nodes   []*tnode
 	shardOf []int
+	pairs   bool // non-uniform per-pair lookahead floors
 	// serial mode: sched set, group nil. Sharded: group set.
 	sched *Scheduler
 	group *ShardGroup
 	cross [][]*RemoteRef // [fromShard][toShard]
 	logs  [][]dispatchLogEntry
+}
+
+// crossFloor returns the delay floor for a send between two shard
+// regions (identical in serial and sharded mode by construction).
+func (m *tmodel) crossFloor(a, b int) Time {
+	if m.pairs {
+		return pairLookahead(a, b)
+	}
+	return testLookahead
 }
 
 type tnode struct {
@@ -89,7 +107,7 @@ func (n *tnode) OnEvent(arg int64) {
 		delay := Time(n.r.next() % 40)
 		crossShard := m.shardOf[target.id] != m.shardOf[n.id]
 		if crossShard {
-			delay += testLookahead
+			delay += m.crossFloor(m.shardOf[n.id], m.shardOf[target.id])
 		}
 		childArg := int64(n.r.next() % 1000)
 		if m.group != nil && crossShard {
@@ -115,9 +133,12 @@ func (n *tnode) OnEvent(arg int64) {
 // node. The k-way partition shapes the model (cross-partition sends get
 // the lookahead delay floor) in both modes; `sharded` selects whether a
 // ShardGroup or one serial scheduler executes it, so the two modes run
-// the identical logical model.
-func buildModel(seed uint64, nNodes, k, budget int, sharded bool) *tmodel {
-	m := &tmodel{shardOf: make([]int, nNodes)}
+// the identical logical model. With `pairs` the cross floors are the
+// non-uniform pairLookahead matrix, registered on the group via
+// SetLookahead, so the adaptive horizon computation takes its general
+// fixpoint path instead of the uniform fast path.
+func buildModel(seed uint64, nNodes, k, budget int, sharded, pairs bool) *tmodel {
+	m := &tmodel{shardOf: make([]int, nNodes), pairs: pairs}
 	shards := k
 	if !sharded {
 		shards = 1
@@ -130,6 +151,9 @@ func buildModel(seed uint64, nNodes, k, budget int, sharded bool) *tmodel {
 			for j := 0; j < k; j++ {
 				if i != j {
 					m.cross[i][j] = m.group.Cross(i, j)
+					if pairs {
+						m.group.SetLookahead(i, j, pairLookahead(i, j))
+					}
 				}
 			}
 		}
@@ -167,55 +191,79 @@ func (m *tmodel) run(deadline Time, chunks int) {
 func TestShardedMatchesSerial(t *testing.T) {
 	const deadline = Time(1_000_000)
 	for _, seed := range []uint64{1, 2, 3, 17, 99} {
-		for _, k := range []int{1, 2, 3, 4} {
-			serial := buildModel(seed, 9, k, 40, false)
-			serial.run(deadline, 1)
-			want := serial.logs[0]
-			if len(want) == 0 {
-				t.Fatalf("seed %d: serial model dispatched nothing", seed)
-			}
-			for _, chunks := range []int{1, 3} {
-				t.Run(fmt.Sprintf("seed=%d/shards=%d/chunks=%d", seed, k, chunks), func(t *testing.T) {
-					m := buildModel(seed, 9, k, 40, true)
-					defer m.group.Close()
+		for _, k := range []int{1, 2, 3, 4, 8} {
+			for _, pairs := range []bool{false, true} {
+				if pairs && k == 1 {
+					continue // no cross edges, identical to uniform
+				}
+				serial := buildModel(seed, 9, k, 40, false, pairs)
+				serial.run(deadline, 1)
+				want := serial.logs[0]
+				if len(want) == 0 {
+					t.Fatalf("seed %d: serial model dispatched nothing", seed)
+				}
+				for _, chunks := range []int{1, 3} {
+					for _, par := range []bool{false, true} {
+						if par && k == 1 {
+							continue // worker pool needs real shards
+						}
+						name := fmt.Sprintf("seed=%d/shards=%d/chunks=%d/pairs=%v/par=%v",
+							seed, k, chunks, pairs, par)
+						t.Run(name, func(t *testing.T) {
+							m := buildModel(seed, 9, k, 40, true, pairs)
+							defer m.group.Close()
+							// Pin the execution backend: both the inline loop
+							// and the persistent worker pool must dispatch the
+							// exact serial sequence (the pool also runs under
+							// the race detector via `make race`).
+							m.group.SetParallel(par)
 
-					// Reconstruct the global order from the replay callback.
-					var merged []dispatchLogEntry
-					rcur := make([]int, k)
-					m.group.SetReplay(func(shard, dIdx int) {
-						e := m.logs[shard][rcur[shard]]
-						if e.dIdx != dIdx {
-							t.Fatalf("replay(%d, %d): log cursor holds dIdx %d", shard, dIdx, e.dIdx)
-						}
-						rcur[shard]++
-						merged = append(merged, e)
-					})
-					m.run(deadline, chunks)
+							// Reconstruct the global order from the replay callback.
+							var merged []dispatchLogEntry
+							rcur := make([]int, k)
+							m.group.SetReplay(func(shard, dIdx int) {
+								e := m.logs[shard][rcur[shard]]
+								if e.dIdx != dIdx {
+									t.Fatalf("replay(%d, %d): log cursor holds dIdx %d", shard, dIdx, e.dIdx)
+								}
+								rcur[shard]++
+								merged = append(merged, e)
+							})
+							m.run(deadline, chunks)
 
-					if got, want := m.group.Executed(), uint64(len(want)); got != want {
-						t.Fatalf("executed %d events, serial executed %d", got, want)
+							if got, want := m.group.Executed(), uint64(len(want)); got != want {
+								t.Fatalf("executed %d events, serial executed %d", got, want)
+							}
+							total := 0
+							for s := range m.logs {
+								total += len(m.logs[s])
+								if rcur[s] != len(m.logs[s]) {
+									t.Fatalf("shard %d: replay visited %d of %d dispatches", s, rcur[s], len(m.logs[s]))
+								}
+							}
+							if total != len(want) {
+								t.Fatalf("sharded dispatched %d events, serial %d", total, len(want))
+							}
+							for i := range merged {
+								g, w := merged[i], want[i]
+								if g.node != w.node || g.arg != w.arg || g.at != w.at {
+									t.Fatalf("dispatch %d: sharded (node=%d arg=%d at=%v), serial (node=%d arg=%d at=%v)",
+										i, g.node, g.arg, g.at, w.node, w.arg, w.at)
+								}
+							}
+							if m.group.Now() != deadline {
+								t.Fatalf("group clock %v, want %v", m.group.Now(), deadline)
+							}
+							st := m.group.Stats()
+							if st.Barriers == 0 || st.Windows == 0 {
+								t.Fatalf("stats recorded no barriers/windows: %+v", st)
+							}
+							if st.MergedDispatches != uint64(len(want)) {
+								t.Fatalf("stats merged %d dispatches, serial executed %d", st.MergedDispatches, len(want))
+							}
+						})
 					}
-					total := 0
-					for s := range m.logs {
-						total += len(m.logs[s])
-						if rcur[s] != len(m.logs[s]) {
-							t.Fatalf("shard %d: replay visited %d of %d dispatches", s, rcur[s], len(m.logs[s]))
-						}
-					}
-					if total != len(want) {
-						t.Fatalf("sharded dispatched %d events, serial %d", total, len(want))
-					}
-					for i := range merged {
-						g, w := merged[i], want[i]
-						if g.node != w.node || g.arg != w.arg || g.at != w.at {
-							t.Fatalf("dispatch %d: sharded (node=%d arg=%d at=%v), serial (node=%d arg=%d at=%v)",
-								i, g.node, g.arg, g.at, w.node, w.arg, w.at)
-						}
-					}
-					if m.group.Now() != deadline {
-						t.Fatalf("group clock %v, want %v", m.group.Now(), deadline)
-					}
-				})
+				}
 			}
 		}
 	}

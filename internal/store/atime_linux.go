@@ -1,0 +1,20 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atime returns the entry's last-access time from the inode when the
+// platform exposes it. Get also bumps timestamps explicitly on every
+// hit, so eviction order does not depend on the filesystem's atime
+// mount options (relatime, noatime).
+func atime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

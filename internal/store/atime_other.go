@@ -1,0 +1,13 @@
+//go:build !linux
+
+package store
+
+import (
+	"os"
+	"time"
+)
+
+// atime falls back to the modification time on platforms without a
+// portable access-time field. Get bumps both timestamps on every hit,
+// so mtime still orders entries least-recently-used.
+func atime(fi os.FileInfo) time.Time { return fi.ModTime() }

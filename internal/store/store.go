@@ -26,8 +26,11 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"asyncnoc/internal/core"
 )
@@ -113,6 +116,14 @@ type Store struct {
 	pending sync.WaitGroup
 	slots   chan struct{}
 
+	// maxBytes is the eviction budget (0 = unbounded); approxBytes is a
+	// running estimate of committed bytes, re-baselined by every sweep,
+	// that lets the write path trigger a sweep without rescanning the
+	// directory on each commit. sweepMu serializes sweeps.
+	maxBytes    atomic.Int64
+	approxBytes atomic.Int64
+	sweepMu     sync.Mutex
+
 	stats struct {
 		sync.Mutex
 		core.StoreStats
@@ -181,7 +192,88 @@ func (s *Store) Get(key string) (core.RunResult, bool) {
 		return core.RunResult{}, false
 	}
 	s.count(func(st *core.StoreStats) { st.Hits++ })
+	// Touch the entry so the size-budget GC sees it as recently used.
+	// Best-effort: relatime mounts make kernel-maintained atimes coarse,
+	// so the store bumps both timestamps explicitly (the fallback atime
+	// reader uses mtime, which this also keeps fresh).
+	if s.maxBytes.Load() > 0 {
+		now := time.Now()
+		os.Chtimes(s.path(key), now, now) //nolint:errcheck // best effort
+	}
 	return res, true
+}
+
+// SetMaxBytes sets the eviction budget: whenever the committed entries
+// exceed max bytes, the least-recently-accessed entries are deleted
+// until the total fits again (a disk-level LRU over the content-
+// addressed cache). max <= 0 disables eviction. The budget is enforced
+// by an immediate sweep, after every Flush, and opportunistically from
+// the write path once enough bytes have been committed to matter —
+// evicting an entry is always safe because every entry is a pure
+// recomputable function of its job key.
+func (s *Store) SetMaxBytes(max int64) {
+	s.maxBytes.Store(max)
+	if max > 0 {
+		s.sweep()
+	}
+}
+
+// MaxBytes returns the current eviction budget (0 = unbounded).
+func (s *Store) MaxBytes() int64 { return s.maxBytes.Load() }
+
+// sweep scans the cache directory and, when the committed bytes exceed
+// the budget, deletes oldest-access entries until the total fits. The
+// scan also re-baselines the approximate byte counter that the write
+// path uses to decide when the next sweep is due. Errors are soft, like
+// every other store failure.
+func (s *Store) sweep() {
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		atime time.Time
+	}
+	entries := make([]entry, 0, len(des))
+	var total int64
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasSuffix(name, entrySuffix) || strings.HasPrefix(name, tmpPrefix) {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{name: name, size: fi.Size(), atime: atime(fi)})
+		total += fi.Size()
+	}
+	if total > max {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].atime.Before(entries[j].atime) })
+		var evicted uint64
+		for _, e := range entries {
+			if total <= max {
+				break
+			}
+			if err := os.Remove(filepath.Join(s.dir, e.name)); err != nil {
+				continue
+			}
+			total -= e.size
+			evicted++
+		}
+		if evicted > 0 {
+			s.count(func(st *core.StoreStats) { st.Evictions += evicted })
+		}
+	}
+	s.approxBytes.Store(total)
 }
 
 // Put persists a result under its job key. The write happens on a
@@ -260,10 +352,21 @@ func (s *Store) write(key string, data []byte) {
 		d.Close()
 	}
 	s.count(func(st *core.StoreStats) { st.Writes++ })
+	// Opportunistic GC: once the running estimate crosses the budget,
+	// this writer pays for a sweep (background writers absorb it for
+	// free; a synchronous caller already paid for a full simulation).
+	if max := s.maxBytes.Load(); max > 0 && s.approxBytes.Add(int64(len(data))) > max {
+		s.sweep()
+	}
 }
 
-// Flush blocks until every write accepted so far has committed.
-func (s *Store) Flush() { s.pending.Wait() }
+// Flush blocks until every write accepted so far has committed, then
+// enforces the eviction budget (if one is set) so a flushed store is
+// both durable and within bounds.
+func (s *Store) Flush() {
+	s.pending.Wait()
+	s.sweep()
+}
 
 // Close flushes pending writes and stops accepting new ones. Gets keep
 // working after Close (reads have no queue to drain).
@@ -272,6 +375,7 @@ func (s *Store) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	s.pending.Wait()
+	s.sweep()
 	return nil
 }
 

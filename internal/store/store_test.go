@@ -2,10 +2,12 @@ package store
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"asyncnoc/internal/core"
 	"asyncnoc/internal/sim"
@@ -275,5 +277,96 @@ func TestStoreEngineReadThrough(t *testing.T) {
 	}
 	if st := s2.Stats(); st.Hits != 1 {
 		t.Fatalf("store hits = %d, want 1", st.Hits)
+	}
+}
+
+// TestStoreEvictionOldestFirst pins the GC's LRU order: with explicit
+// access stamps, shrinking the budget must delete exactly the coldest
+// entries and leave the rest readable.
+func TestStoreEvictionOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.RunResult{Network: "X", Benchmark: "B", MeasuredPackets: 5}
+	keys := make([]string, 6)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i+1)
+		s.Put(keys[i], res)
+	}
+	s.Flush()
+	// Stamp ascending access times an hour in the past so the test does
+	// not depend on filesystem timestamp granularity.
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.path(k), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(s.path(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for the three newest entries: SetMaxBytes sweeps immediately.
+	s.SetMaxBytes(3 * fi.Size())
+	for i, k := range keys {
+		_, ok := s.Get(k)
+		if want := i >= 3; ok != want {
+			t.Errorf("after eviction, Get(keys[%d]) = %v, want %v", i, ok, want)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 3 {
+		t.Fatalf("Evictions = %d, want 3", st.Evictions)
+	}
+}
+
+// TestStoreEvictionBoundsWritePath checks the budget holds under a
+// stream of writes: the opportunistic write-path sweep plus the Flush
+// sweep must keep the committed bytes at or under the budget.
+func TestStoreEvictionBoundsWritePath(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.RunResult{Network: "Y", Benchmark: "B", MeasuredPackets: 9}
+	probe := fmt.Sprintf("%064x", 0xfade)
+	s.Put(probe, res)
+	s.Flush()
+	fi, err := os.Stat(s.path(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+	s.SetMaxBytes(4 * size)
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("%064x", i+1), res)
+	}
+	s.Flush()
+	left, err := s.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left > 4 {
+		t.Fatalf("%d entries after flush, budget fits 4", left)
+	}
+	if st := s.Stats(); st.Evictions < uint64(n+1-left) {
+		t.Fatalf("Evictions = %d, want >= %d (wrote %d, %d left)", st.Evictions, n+1-left, n+1, left)
+	}
+	// The survivors are still intact reads, and an unbounded store (the
+	// default) would never have evicted: flip the budget off and write
+	// again to prove eviction stops.
+	s.SetMaxBytes(0)
+	evicted := s.Stats().Evictions
+	s.Put(fmt.Sprintf("%064x", 0xbeef), res)
+	s.Flush()
+	if st := s.Stats(); st.Evictions != evicted {
+		t.Fatalf("eviction ran with budget disabled: %d -> %d", evicted, st.Evictions)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

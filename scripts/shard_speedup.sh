@@ -1,0 +1,44 @@
+#!/bin/sh
+# shard_speedup.sh is the multi-core shard speedup gate: the sharded
+# Fig.6a regeneration (8 scheduler shards, persistent workers) must beat
+# the serial run by at least 2x wall clock on a machine with enough
+# cores for the parallelism to be real.
+#
+#   1. ask benchguard for the CPU count BEFORE running any benchmark; on
+#      fewer than 4 cores a parallel speedup is not measurable, so the
+#      gate skips with a notice (exit 0) instead of burning minutes to
+#      report a meaningless ratio
+#   2. run BenchmarkFig6aLatency serial and at 8 shards, one iteration
+#      each, ASYNCNOC_WORKERS=1 so inter-run parallelism cannot mask or
+#      steal the intra-run speedup
+#   3. benchguard -speedup gates serial/sharded >= SPEEDUP_MIN and
+#      writes the measured numbers to bench/BENCH_shard.json
+set -eu
+
+GO=${GO:-go}
+BIN=bin
+SPEEDUP_MIN=${SPEEDUP_MIN:-2.0}
+MIN_CPUS=${MIN_CPUS:-4}
+
+mkdir -p "$BIN"
+$GO build -o "$BIN/benchguard" ./cmd/benchguard
+
+NCPU=$("$BIN/benchguard" -print-numcpu)
+if [ "$NCPU" -lt "$MIN_CPUS" ]; then
+    echo "shard-speedup: $NCPU CPU(s) < $MIN_CPUS; skipping the multi-core gate (the single-core overhead ratchet in bench-smoke still applies)"
+    exit 0
+fi
+
+ASYNCNOC_WORKERS=1 $GO test -run '^$' -bench 'BenchmarkFig6aLatency$' \
+    -benchtime 1x -benchmem . | tee "$BIN/bench_speedup_serial.txt"
+ASYNCNOC_WORKERS=1 $GO test -run '^$' -bench 'BenchmarkFig6aLatencySharded8$' \
+    -benchtime 1x -benchmem . | tee "$BIN/bench_speedup_sharded.txt"
+
+"$BIN/benchguard" \
+    -speedup-num BenchmarkFig6aLatency \
+    -speedup-den BenchmarkFig6aLatencySharded8 \
+    -speedup-min "$SPEEDUP_MIN" \
+    -json bench/BENCH_shard.json \
+    "$BIN/bench_speedup_serial.txt" "$BIN/bench_speedup_sharded.txt"
+
+echo "shard-speedup: OK (>= ${SPEEDUP_MIN}x on $NCPU CPUs; numbers in bench/BENCH_shard.json)"
